@@ -1,0 +1,371 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus micro-benchmarks of the framework's hot paths.
+// Each experiment benchmark performs the full measurement the paper's
+// figure reports; ns/op is the cost of regenerating that figure.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/governor"
+	"repro/internal/regress"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The suite is shared across benchmarks so controllers train once;
+// experiment results remain deterministic per seed.
+var (
+	suiteOnce  sync.Once
+	benchSuite *repro.Suite
+)
+
+func getSuite(b *testing.B) *repro.Suite {
+	b.Helper()
+	suiteOnce.Do(func() { benchSuite = repro.NewSuite(1) })
+	return benchSuite
+}
+
+func BenchmarkTable2(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunTable2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFig2(250); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFig3(250); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if tbl := s.RunFig11(); tbl == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFig15(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	s := getSuite(b)
+	// One sub-benchmark per workload; together they regenerate Fig 16.
+	for _, w := range workload.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.RunFig16(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig17(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFig17(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig18(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFig18(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig19(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFig19(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.RunFig19Pocketsphinx(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig20(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFig20(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig21(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFig21(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXPlat(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunXPlat(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMargin(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunAblationMargin(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSwitchTable(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunAblationSwitchTable(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSlice(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunAblationSlice(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the framework's hot paths ---
+
+// BenchmarkControllerBuild measures the whole off-line pipeline
+// (instrument, profile, train, slice) for the video decoder.
+func BenchmarkControllerBuild(b *testing.B) {
+	w := workload.LDecode()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(w, core.Config{ProfileSeed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictionSlice measures one run-time prediction: slice
+// execution, feature vectorization, model evaluation, level selection.
+func BenchmarkPredictionSlice(b *testing.B) {
+	w := workload.LDecode()
+	ctrl, err := core.Build(w, core.Config{ProfileSeed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := w.NewGen(2)
+	globals := w.FreshGlobals()
+	params := gen.Next(0)
+	job := &governor.Job{Params: params, Globals: globals, RemainingBudgetSec: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.JobStart(job, ctrl.Plat.MaxLevel())
+	}
+}
+
+// BenchmarkAsymmetricLasso measures model training on a profiling-
+// sized dataset.
+func BenchmarkAsymmetricLasso(b *testing.B) {
+	w := workload.LDecode()
+	ctrl, err := core.Build(w, core.Config{ProfileSeed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	X, y := ctrl.Prof.X, ctrl.Prof.TimesMax
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := regress.Fit(X, y, regress.Options{Alpha: 100, Gamma: 1e-3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateRun measures a full 300-job governor evaluation run.
+func BenchmarkSimulateRun(b *testing.B) {
+	w := workload.LDecode()
+	p := repro.ODROIDXU3()
+	g := repro.PerformanceGovernor(p)
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(w, g, sim.Config{Plat: p, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSliceExtraction measures program slicing itself.
+func BenchmarkSliceExtraction(b *testing.B) {
+	w := workload.LDecode()
+	ctrl, err := core.Build(w, core.Config{ProfileSeed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := features.NewTrace()
+	globals := w.FreshGlobals()
+	params := w.NewGen(3).Next(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		if _, err := ctrl.Slice.Run(globals, params, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension studies (§3.5, §4.3, §7) ---
+
+func BenchmarkPlacement(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunPlacement(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatch(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunBatch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHetero(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunHetero(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHints(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunHints(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverheadCap(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunOverheadCap(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiTask(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunMultiTask(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuadratic(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunQuadratic(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunBaselines("ldecode"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiTaskSim measures the multi-task simulator itself.
+func BenchmarkMultiTaskSim(b *testing.B) {
+	p := repro.ODROIDXU3()
+	ld := workload.LDecode()
+	xp := workload.XPilot()
+	tasks := []sim.TaskSpec{
+		{W: ld, Gov: repro.PerformanceGovernor(p), BudgetSec: 0.1, PeriodSec: 0.1, Jobs: 150},
+		{W: xp, Gov: repro.PerformanceGovernor(p), BudgetSec: 0.05, PeriodSec: 0.05, Jobs: 300},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunMulti(tasks, sim.Config{Plat: p, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStatic(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunStatic(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA15Trends(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunA15Trends(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

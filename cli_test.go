@@ -1,0 +1,60 @@
+package repro_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// CLI smoke tests: build-and-run each command the way a user would.
+// They exercise flag parsing, the experiment dispatcher, and model
+// save/load end to end.
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIDvfsbenchSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := runCLI(t, "./cmd/dvfsbench", "-exp", "fig11")
+	if !strings.Contains(out, "95th-percentile DVFS switching times") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCLIDvfsbenchRejectsUnknown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	cmd := exec.Command("go", "run", "./cmd/dvfsbench", "-exp", "fig99")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown experiment accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown experiment") {
+		t.Errorf("missing error message:\n%s", out)
+	}
+}
+
+func TestCLIProfileSaveSimLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	model := t.TempDir() + "/m.json"
+	out := runCLI(t, "./cmd/dvfsprofile", "-workload", "sha", "-o", model)
+	if !strings.Contains(out, "model written") {
+		t.Errorf("profile output:\n%s", out)
+	}
+	out = runCLI(t, "./cmd/dvfssim", "-workload", "sha", "-model", model, "-jobs", "50")
+	if !strings.Contains(out, "governor   prediction") || !strings.Contains(out, "misses") {
+		t.Errorf("sim output:\n%s", out)
+	}
+}

@@ -1,0 +1,104 @@
+// Command dvfsprofile runs the off-line half of the framework for one
+// benchmark — instrument, profile, train, slice — and reports the
+// trained models, the selected control-flow features, and the slice
+// size, i.e. everything the paper's Fig 13 produces before run time.
+//
+// Usage:
+//
+//	dvfsprofile -workload ldecode [-alpha 100] [-gamma 1e-3] [-jobs 300] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/regress"
+	"repro/internal/taskir"
+	"repro/internal/workload"
+)
+
+func main() {
+	wName := flag.String("workload", "ldecode", "benchmark name (see Table 2)")
+	alpha := flag.Float64("alpha", 100, "under-prediction penalty weight α (§3.3)")
+	gamma := flag.Float64("gamma", 1e-3, "Lasso feature-selection weight γ")
+	jobs := flag.Int("jobs", 0, "profiling jobs (0 = workload default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "write the trained model as JSON (the paper's distribute-with-the-program format, §4.2)")
+	dumpSlice := flag.Bool("dump-slice", false, "print the generated prediction slice as pseudo-source")
+	flag.Parse()
+
+	if err := run(*wName, *alpha, *gamma, *jobs, *seed, *out, *dumpSlice); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsprofile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wName string, alpha, gamma float64, jobs int, seed int64, out string, dumpSlice bool) error {
+	w, err := workload.ByName(wName)
+	if err != nil {
+		return err
+	}
+	c, err := core.Build(w, core.Config{
+		Alpha:       alpha,
+		Gamma:       gamma,
+		ProfileJobs: jobs,
+		ProfileSeed: seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload        %s (%s)\n", w.Name, w.Desc)
+	fmt.Printf("platform        %s (%d DVFS levels, %.0f–%.0f MHz)\n",
+		c.Plat.Name, c.Plat.NumLevels(),
+		c.Plat.MinLevel().FreqHz/1e6, c.Plat.MaxLevel().FreqHz/1e6)
+	fmt.Printf("profiling       %d jobs, %d feature columns\n", len(c.Prof.X), c.Schema.Dim())
+	fmt.Printf("memory share    %.1f%% of job time is frequency-independent\n", 100*c.MemFraction())
+
+	for _, m := range []struct {
+		name  string
+		model *regress.Model
+		y     []float64
+	}{
+		{"t(fmax) model", c.ModelMax, c.Prof.TimesMax},
+		{"t(fmin) model", c.ModelMin, c.Prof.TimesMin},
+	} {
+		st := regress.ComputeErrorStats(regress.Errors(m.model.PredictAll(c.Prof.X), m.y))
+		fmt.Printf("%-15s mae %.3g ms, mean err %+.3g ms, under-predictions %d/%d, %d features\n",
+			m.name, st.MAE*1e3, st.Mean*1e3, st.UnderCount, st.N, m.model.NumSelected())
+	}
+
+	fmt.Printf("selected        %v\n", c.SelectedFeatureNames())
+	fmt.Printf("slice           %d of %d statements (%.0f%% of the instrumented task)\n",
+		c.Slice.SliceStmts, c.Slice.FullStmts,
+		100*float64(c.Slice.SliceStmts)/float64(c.Slice.FullStmts))
+
+	fmt.Printf("\ncoefficients (t(fmax) model, non-zero):\n")
+	fmt.Printf("  %-20s %s\n", "intercept", fmtMS(c.ModelMax.Intercept))
+	for _, j := range c.ModelMax.Selected() {
+		if j < c.Schema.Dim() {
+			fmt.Printf("  %-20s %s\n", c.Schema.Columns[j].Name, fmtMS(c.ModelMax.Coef[j]))
+		}
+	}
+
+	if dumpSlice {
+		fmt.Printf("\nprediction slice (what runs before every job):\n%s", taskir.Format(c.Slice.Prog))
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := core.SaveController(f, c); err != nil {
+			return err
+		}
+		fmt.Printf("\nmodel written to %s (load with dvfssim -model)\n", out)
+	}
+	return nil
+}
+
+func fmtMS(sec float64) string { return fmt.Sprintf("%+.4f ms", sec*1e3) }

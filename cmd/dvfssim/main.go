@@ -1,0 +1,126 @@
+// Command dvfssim runs one benchmark under one governor and reports
+// energy, deadline misses, and overheads. It can dump the per-job
+// trace as CSV and the run summary as JSON.
+//
+// Usage:
+//
+//	dvfssim -workload ldecode -governor prediction [-budget 0.05]
+//	        [-jobs 300] [-seed 1] [-idle] [-csv trace.csv] [-json sum.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	wName := flag.String("workload", "ldecode", "benchmark name (see Table 2)")
+	gName := flag.String("governor", "prediction", "governor: performance, powersave, interactive, pid, prediction, oracle")
+	budget := flag.Float64("budget", 0, "time budget in seconds (0 = paper default)")
+	jobs := flag.Int("jobs", 0, "number of jobs (0 = workload default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	idle := flag.Bool("idle", false, "drop to minimum frequency between jobs (§5.5)")
+	csvPath := flag.String("csv", "", "write per-job trace CSV to this path")
+	jsonPath := flag.String("json", "", "write run summary JSON to this path")
+	modelPath := flag.String("model", "", "load a trained prediction model (from dvfsprofile -o) instead of training")
+	platName := flag.String("platform", "a7", "platform model: a7, x86, biglittle")
+	flag.Parse()
+
+	if err := run(*wName, *gName, *budget, *jobs, *seed, *idle, *csvPath, *jsonPath, *modelPath, *platName); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfssim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, csvPath, jsonPath, modelPath, platName string) error {
+	w, err := workload.ByName(wName)
+	if err != nil {
+		return err
+	}
+	var plat *platform.Platform
+	switch platName {
+	case "a7":
+		plat = platform.ODROIDXU3A7()
+	case "x86":
+		plat = platform.IntelI7()
+	case "biglittle":
+		plat = platform.BigLITTLE()
+	default:
+		return fmt.Errorf("unknown platform %q (have: a7, x86, biglittle)", platName)
+	}
+	suite := experiments.NewSuiteOn(plat, seed)
+	var g governor.Governor
+	if modelPath != "" {
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = core.LoadController(f, w, suite.Plat, suite.Switch)
+		if err != nil {
+			return err
+		}
+	} else if g, err = suite.Governor(gName, w); err != nil {
+		return err
+	}
+	cfg := sim.Config{
+		Plat:            suite.Plat,
+		BudgetSec:       budget,
+		Jobs:            jobs,
+		Seed:            seed + 7,
+		IdleBetweenJobs: idle,
+	}
+	if _, ok := g.(*governor.Oracle); ok {
+		// The paper's oracle analysis removes controller overheads.
+		cfg.DisableSwitchLatency = true
+		cfg.DisablePredictorCost = true
+	}
+	r, err := sim.Run(w, g, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload   %s (%s)\n", w.Name, w.TaskDesc)
+	fmt.Printf("governor   %s\n", r.Governor)
+	fmt.Printf("budget     %.3f s x %d jobs\n", r.BudgetSec, len(r.Records))
+	fmt.Printf("energy     %.4f J (sensor estimate %.4f J)\n", r.EnergyJ, r.SensorEnergyJ)
+	fmt.Printf("misses     %d (%.2f%%)\n", r.Misses, 100*r.MissRate())
+	fmt.Printf("overheads  predictor %.3f ms/job, dvfs switch %.3f ms/job\n",
+		r.MeanPredictorSec()*1e3, r.MeanSwitchSec()*1e3)
+	b := r.Breakdown
+	fmt.Printf("breakdown  exec %.3f J, idle %.3f J, switch %.3f J, predictor %.3f J\n",
+		b.ExecJ, b.IdleJ, b.SwitchJ, b.PredictorJ)
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, r); err != nil {
+			return err
+		}
+		fmt.Printf("trace      %s\n", csvPath)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteJSON(f, r); err != nil {
+			return err
+		}
+		fmt.Printf("summary    %s\n", jsonPath)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Quickstart: generate a prediction-based DVFS controller for one
+// interactive task and compare it against running flat-out.
+//
+// The flow is the paper's Fig 13 end to end: annotate a task (the 2048
+// game loop), instrument its control flow, profile it off-line, train
+// the asymmetric execution-time model, slice the program down to the
+// selected features, and then let the generated controller pick a
+// frequency before every job.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	// The task: one turn of the 2048 puzzle game, with a 50 ms
+	// response-time budget (§1: ~100 ms is the perception limit, 50 ms
+	// variations are imperceptible).
+	w := workload.Game2048()
+	plat := platform.ODROIDXU3A7()
+
+	// Off-line: instrument → profile → train → slice.
+	ctrl, err := core.Build(w, core.Config{Plat: plat, ProfileSeed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("task            %s — %s\n", w.Name, w.TaskDesc)
+	fmt.Printf("features        %v\n", ctrl.SelectedFeatureNames())
+	fmt.Printf("slice           %d of %d statements survive slicing\n\n",
+		ctrl.Slice.SliceStmts, ctrl.Slice.FullStmts)
+
+	// Run-time: same inputs, two governors.
+	cfg := sim.Config{Plat: plat, Seed: 42}
+	baseline, err := sim.Run(w, &governor.Performance{Plat: plat}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predicted, err := sim.Run(w, ctrl, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %12s %10s\n", "governor", "energy [J]", "misses")
+	for _, r := range []*sim.Result{baseline, predicted} {
+		fmt.Printf("%-22s %12.4f %9.1f%%\n", r.Governor, r.EnergyJ, 100*r.MissRate())
+	}
+	fmt.Printf("\nprediction saves %.1f%% energy with the same user experience\n",
+		100*(1-predicted.EnergyJ/baseline.EnergyJ))
+}

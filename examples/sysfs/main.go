@@ -1,0 +1,91 @@
+// Sysfs: drive the prediction controller through the Linux cpufreq
+// userspace-governor interface, the way the paper's prototype actually
+// sets frequencies on the ODROID-XU3's kernel.
+//
+// The controller's decisions become plain sysfs writes — swap the
+// emulated tree for /sys/devices/system/cpu/cpu0/cpufreq and the same
+// loop drives real hardware. The example first trains a controller,
+// saves its model to the paper's distribute-with-the-program format,
+// reloads it (as an installed application would), and then runs a few
+// jobs against the emulated cpufreq tree, printing every interaction.
+//
+// Run with: go run ./examples/sysfs
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpufreq"
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/taskir"
+	"repro/internal/workload"
+)
+
+func main() {
+	w := workload.LDecode()
+	plat := platform.ODROIDXU3A7()
+	swTbl := platform.MeasureSwitchTable(plat, 300, 0.95, 4)
+
+	// Developer side: profile, train, and ship the model (§4.2).
+	trained, err := core.Build(w, core.Config{Plat: plat, ProfileSeed: 6, Switch: swTbl})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var shipped bytes.Buffer
+	if err := core.SaveController(&shipped, trained); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shipped model: %d bytes of JSON\n", shipped.Len())
+
+	// User side: the installed app loads the model and binds to sysfs.
+	ctrl, err := core.LoadController(&shipped, w, plat, swTbl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := cpufreq.New(plat, swTbl)
+	show(fs, "scaling_governor")
+	show(fs, "scaling_available_frequencies")
+	if err := fs.Write("scaling_governor", "userspace"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(`echo userspace > scaling_governor`)
+
+	// Drive a few frames: predict, write setspeed, decode.
+	gen := w.NewGen(14)
+	globals := w.FreshGlobals()
+	fmt.Printf("\n%6s %22s %14s %12s\n", "frame", "setspeed [kHz]", "predicted", "actual")
+	for i := 0; i < 8; i++ {
+		params := gen.Next(i)
+		job := &governor.Job{
+			Index: i, Params: params, Globals: globals,
+			DeadlineSec: 0.050, RemainingBudgetSec: 0.050,
+		}
+		dec := ctrl.JobStart(job, fs.Level())
+		if err := fs.SetLevelKHz(int(dec.Target.FreqHz / 1e3)); err != nil {
+			log.Fatal(err)
+		}
+		env := taskir.NewEnv(globals)
+		env.SetParams(params)
+		wk, err := taskir.Run(w.Prog, env, taskir.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual := plat.JobTimeAt(wk.CPU, wk.MemSec, fs.Level())
+		fmt.Printf("%6d %18d %11.1f ms %9.1f ms\n",
+			i, int(dec.Target.FreqHz/1e3), dec.PredictedExecSec*1e3, actual*1e3)
+	}
+	fmt.Printf("\nDVFS transitions through sysfs: %d\n", fs.Switches)
+}
+
+func show(fs *cpufreq.FS, name string) {
+	v, err := fs.Read(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cat %s → %s\n", name, strings.TrimSpace(v))
+}

@@ -1,0 +1,449 @@
+// Package core assembles the paper's framework (Fig 13): given an
+// annotated task, it instruments control-flow features, profiles the
+// task off-line at the minimum and maximum frequencies, trains the
+// asymmetric-Lasso execution-time models, slices the program down to
+// the selected features, and produces the run-time DVFS predictor —
+// a governor.Governor that, before each job, runs the prediction
+// slice, predicts the job's execution time, and picks the lowest
+// frequency that just meets the response-time deadline.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dvfs"
+	"repro/internal/features"
+	"repro/internal/governor"
+	"repro/internal/instrument"
+	"repro/internal/platform"
+	"repro/internal/regress"
+	"repro/internal/slicer"
+	"repro/internal/taskir"
+	"repro/internal/workload"
+)
+
+// Config parameterizes controller construction. Zero values select the
+// paper's settings.
+type Config struct {
+	// Plat is the target platform; nil selects the ODROID-XU3 A7.
+	Plat *platform.Platform
+	// ProfileJobs is the number of profiling jobs; zero selects the
+	// workload's evaluation job count.
+	ProfileJobs int
+	// ProfileSeed drives profiling inputs and measurement noise.
+	ProfileSeed int64
+	// Alpha is the under-prediction penalty weight (§3.3); zero → 100.
+	Alpha float64
+	// Gamma is the Lasso feature-selection weight; zero → 1e-3.
+	Gamma float64
+	// Margin is the prediction safety margin (§3.4); zero → 0.10,
+	// negative → 0.
+	Margin float64
+	// NoiseSigma models measurement noise during profiling;
+	// zero → 0.05, negative → 0.
+	NoiseSigma float64
+	// Switch is the switch-time estimate table; nil measures the
+	// 95th-percentile table on Plat (Fig 11).
+	Switch *platform.SwitchTable
+	// KeepAllFeatures disables Lasso-driven slice reduction (ablation):
+	// the slice computes every feature even when its coefficient is 0.
+	KeepAllFeatures bool
+	// UseHints appends the workload's programmer-provided hint values
+	// (§3.5) as extra feature columns beyond the automatically
+	// generated control-flow features.
+	UseHints bool
+	// MaxPredictorSec, when positive, caps the prediction slice's
+	// average execution time at maximum frequency by iteratively
+	// dropping the costliest features and retraining — §3.5's
+	// "features over some overhead threshold could be explicitly
+	// disallowed".
+	MaxPredictorSec float64
+	// Quadratic extends the model with squared counter features —
+	// §3.5's "higher-order ... models may provide better accuracy"
+	// option. The paper found "relatively little gain" for its
+	// benchmarks; RunQuadratic measures the same comparison here.
+	Quadratic bool
+	// EnergyAware switches level selection from the paper's
+	// minimum-feasible-frequency rule to minimum-estimated-energy —
+	// only meaningful on heterogeneous grids (see dvfs.Selector).
+	EnergyAware bool
+}
+
+func (c Config) withDefaults(w *workload.Workload) Config {
+	if c.Plat == nil {
+		c.Plat = platform.ODROIDXU3A7()
+	}
+	if c.ProfileJobs == 0 {
+		c.ProfileJobs = w.EvalJobs
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 100
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 1e-3
+	}
+	if c.Margin == 0 {
+		c.Margin = 0.10
+	}
+	if c.Margin < 0 {
+		c.Margin = 0
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 0.05
+	}
+	if c.NoiseSigma < 0 {
+		c.NoiseSigma = 0
+	}
+	if c.Switch == nil {
+		c.Switch = platform.MeasureSwitchTable(c.Plat, 500, 0.95, c.ProfileSeed+97)
+	}
+	return c
+}
+
+// Profile holds the off-line profiling dataset: one row per job.
+type Profile struct {
+	// X are feature vectors under Schema.
+	X [][]float64
+	// TimesMin and TimesMax are measured job times (seconds) at the
+	// minimum and maximum frequencies.
+	TimesMin, TimesMax []float64
+}
+
+// Controller is the generated prediction-based DVFS controller. It
+// implements governor.Governor.
+type Controller struct {
+	W      *workload.Workload
+	Plat   *platform.Platform
+	Instr  *instrument.Program
+	Slice  *slicer.Slice
+	Schema *features.Schema
+	// ModelMin and ModelMax predict job time at fmin / fmax.
+	ModelMin, ModelMax *regress.Model
+	Selector           *dvfs.Selector
+	Prof               *Profile
+	// hints are programmer-provided feature parameters appended after
+	// the schema columns (empty unless Config.UseHints).
+	hints []workload.Hint
+	// memFrac caches the profiled memory fraction; loaded controllers
+	// carry it in place of the profiling data.
+	memFrac float64
+	// quadCols lists schema column indices whose squares are appended
+	// as extra features (empty unless Config.Quadratic).
+	quadCols []int
+}
+
+var _ governor.Governor = (*Controller)(nil)
+
+// Build constructs the controller for a workload: instrument → profile
+// → train → slice (Fig 13's off-line half).
+func Build(w *workload.Workload, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults(w)
+	if err := w.Prog.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid task program: %w", err)
+	}
+	ip := instrument.Instrument(w.Prog)
+
+	// Off-line profiling: run the instrumented task over sample inputs,
+	// collecting feature traces and job times at fmin and fmax.
+	var hints []workload.Hint
+	if cfg.UseHints {
+		hints = w.Hints
+	}
+	var quadCols []int
+	rng := rand.New(rand.NewSource(cfg.ProfileSeed + 13))
+	gen := w.NewGen(cfg.ProfileSeed)
+	globals := w.FreshGlobals()
+	traces := make([]*features.Trace, 0, cfg.ProfileJobs)
+	works := make([]taskir.Work, 0, cfg.ProfileJobs)
+	paramSets := make([]map[string]int64, 0, cfg.ProfileJobs)
+	for i := 0; i < cfg.ProfileJobs; i++ {
+		tr := features.NewTrace()
+		env := taskir.NewEnv(globals)
+		params := gen.Next(i)
+		env.SetParams(params)
+		wk, err := taskir.Run(ip.Prog, env, taskir.RunOptions{Recorder: tr})
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling %s job %d: %w", w.Name, i, err)
+		}
+		traces = append(traces, tr)
+		works = append(works, wk)
+		paramSets = append(paramSets, params)
+	}
+	schema := features.BuildSchema(ip, traces)
+	prof := &Profile{
+		X:        make([][]float64, len(traces)),
+		TimesMin: make([]float64, len(traces)),
+		TimesMax: make([]float64, len(traces)),
+	}
+	if cfg.Quadratic {
+		// Square the counter columns (squaring a 0/1 one-hot is the
+		// identity, so call-address columns are skipped).
+		for j, col := range schema.Columns {
+			if col.Kind == features.ColCounter {
+				quadCols = append(quadCols, j)
+			}
+		}
+	}
+	fmin, fmax := cfg.Plat.MinLevel(), cfg.Plat.MaxLevel()
+	for i, tr := range traces {
+		x := appendHintValues(schema.Vectorize(tr), hints, paramSets[i])
+		prof.X[i] = appendQuadValues(x, quadCols)
+		prof.TimesMin[i] = cfg.Plat.JobTimeAt(works[i].CPU, works[i].MemSec, fmin) * noiseFactor(rng, cfg.NoiseSigma)
+		prof.TimesMax[i] = cfg.Plat.JobTimeAt(works[i].CPU, works[i].MemSec, fmax) * noiseFactor(rng, cfg.NoiseSigma)
+	}
+
+	opts := regress.Options{Alpha: cfg.Alpha, Gamma: cfg.Gamma}
+	modelMin, err := regress.Fit(prof.X, prof.TimesMin, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: training fmin model for %s: %w", w.Name, err)
+	}
+	modelMax, err := regress.Fit(prof.X, prof.TimesMax, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: training fmax model for %s: %w", w.Name, err)
+	}
+
+	// Features with non-zero coefficients in either model must survive
+	// in the prediction slice; everything else is sliced away. A
+	// selected squared column keeps its base feature's site.
+	var need map[int]bool
+	if cfg.KeepAllFeatures {
+		need = nil // Extract treats nil as "keep everything"
+	} else {
+		selected := append(modelMin.Selected(), modelMax.Selected()...)
+		base := schema.Dim() + len(hints)
+		for i, j := range selected {
+			if j >= base {
+				selected[i] = quadCols[j-base]
+			}
+		}
+		need = schema.NeededFIDs(selected)
+	}
+	sl := slicer.Extract(ip, need)
+
+	// Overhead-aware feature selection (§3.5): while the slice's
+	// average execution time exceeds the cap, drop the feature whose
+	// removal shrinks the slice most, retrain on the surviving
+	// columns, and re-slice.
+	if cfg.MaxPredictorSec > 0 && !cfg.KeepAllFeatures {
+		allowed := map[int]bool{}
+		for fid := range need {
+			allowed[fid] = true
+		}
+		Xmask := prof.X
+		for len(allowed) > 0 {
+			cost := measureSliceCost(w, sl, cfg)
+			if cost <= cfg.MaxPredictorSec {
+				break
+			}
+			// Find the removal with the cheapest resulting slice.
+			bestFID, bestCost := -1, math.Inf(1)
+			for fid := range allowed {
+				cand := map[int]bool{}
+				for f := range allowed {
+					if f != fid {
+						cand[f] = true
+					}
+				}
+				c := measureSliceCost(w, slicer.Extract(ip, cand), cfg)
+				if c < bestCost {
+					bestFID, bestCost = fid, c
+				}
+			}
+			delete(allowed, bestFID)
+			// Retrain with the dropped feature's columns zeroed out.
+			Xmask = maskColumns(Xmask, schema, allowed)
+			if modelMin, err = regress.Fit(Xmask, prof.TimesMin, opts); err != nil {
+				return nil, fmt.Errorf("core: retraining fmin model for %s: %w", w.Name, err)
+			}
+			if modelMax, err = regress.Fit(Xmask, prof.TimesMax, opts); err != nil {
+				return nil, fmt.Errorf("core: retraining fmax model for %s: %w", w.Name, err)
+			}
+			selected := append(modelMin.Selected(), modelMax.Selected()...)
+			need = schema.NeededFIDs(selected)
+			for fid := range need {
+				if !allowed[fid] {
+					delete(need, fid)
+				}
+			}
+			sl = slicer.Extract(ip, need)
+		}
+	}
+
+	return &Controller{
+		W:        w,
+		Plat:     cfg.Plat,
+		Instr:    ip,
+		Slice:    sl,
+		Schema:   schema,
+		ModelMin: modelMin,
+		ModelMax: modelMax,
+		Selector: &dvfs.Selector{Plat: cfg.Plat, Switch: cfg.Switch, Margin: cfg.Margin, EnergyAware: cfg.EnergyAware},
+		Prof:     prof,
+		hints:    hints,
+		quadCols: quadCols,
+	}, nil
+}
+
+// measureSliceCost returns the slice's average execution time at
+// maximum frequency over a sample of the workload's inputs.
+func measureSliceCost(w *workload.Workload, sl *slicer.Slice, cfg Config) float64 {
+	gen := w.NewGen(cfg.ProfileSeed + 5)
+	globals := w.FreshGlobals()
+	const samples = 25
+	total := 0.0
+	for i := 0; i < samples; i++ {
+		wk, err := sl.Run(globals, gen.Next(i), nil)
+		if err != nil {
+			return math.Inf(1)
+		}
+		total += cfg.Plat.JobTimeAt(wk.CPU, wk.MemSec, cfg.Plat.MaxLevel())
+	}
+	return total / samples
+}
+
+// maskColumns zeroes the columns of features outside the allowed set
+// (hint columns, appended after the schema columns, are always kept).
+func maskColumns(X [][]float64, schema *features.Schema, allowed map[int]bool) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := append([]float64(nil), row...)
+		for j := 0; j < schema.Dim(); j++ {
+			if !allowed[schema.Columns[j].FID] {
+				r[j] = 0
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// appendHintValues extends a control-flow feature vector with the
+// programmer-provided hint parameters (§3.5).
+func appendHintValues(x []float64, hints []workload.Hint, params map[string]int64) []float64 {
+	for _, h := range hints {
+		x = append(x, float64(params[h.Param]))
+	}
+	return x
+}
+
+// appendQuadValues extends a feature vector with the squares of the
+// listed columns (§3.5's higher-order model option).
+func appendQuadValues(x []float64, quadCols []int) []float64 {
+	for _, j := range quadCols {
+		x = append(x, x[j]*x[j])
+	}
+	return x
+}
+
+func noiseFactor(rng *rand.Rand, sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	n := sigma * rng.NormFloat64()
+	lim := 3 * sigma
+	if n > lim {
+		n = lim
+	}
+	if n < -lim {
+		n = -lim
+	}
+	return math.Exp(n)
+}
+
+// Name implements governor.Governor.
+func (*Controller) Name() string { return "prediction" }
+
+// JobStart implements governor.Governor: run the prediction slice,
+// predict execution times at fmin/fmax, and pick the lowest frequency
+// whose (margin-inflated) predicted time fits the effective budget.
+func (c *Controller) JobStart(job *governor.Job, cur platform.Level) governor.Decision {
+	tr := features.NewTrace()
+	sw, err := c.Slice.Run(job.Globals, job.Params, tr)
+	if err != nil {
+		// A broken slice must never break the application: fall back
+		// to maximum frequency (always deadline-safe).
+		return governor.Decision{Target: c.Plat.MaxLevel(), PredictedExecSec: math.NaN()}
+	}
+	predictorSec := c.Plat.JobTimeAt(sw.CPU, sw.MemSec, cur)
+
+	x := appendQuadValues(appendHintValues(c.Schema.Vectorize(tr), c.hints, job.Params), c.quadCols)
+	tfmin := math.Max(0, c.ModelMin.Predict(x))
+	tfmax := math.Max(0, c.ModelMax.Predict(x))
+	if tfmin < tfmax {
+		tfmin = tfmax // noise guard: time at fmin can never be shorter
+	}
+
+	eff := job.RemainingBudgetSec - predictorSec
+	target := c.Selector.Pick(cur, tfmin, tfmax, eff)
+
+	// Record the un-margined expectation at the chosen level for the
+	// prediction-error analysis (Fig 19).
+	tp := dvfs.Solve(tfmin, tfmax, c.Plat.MinLevel().EffFreqHz(), c.Plat.MaxLevel().EffFreqHz())
+	return governor.Decision{
+		Target:           target,
+		PredictorSec:     predictorSec,
+		PredictedExecSec: tp.TimeAt(target.EffFreqHz()),
+	}
+}
+
+// JobEnd implements governor.Governor (the predictor is feed-forward).
+func (c *Controller) JobEnd(*governor.Job, float64) {}
+
+// SampleInterval implements governor.Governor.
+func (c *Controller) SampleInterval() float64 { return 0 }
+
+// Sample implements governor.Governor.
+func (c *Controller) Sample(_ float64, cur platform.Level) platform.Level { return cur }
+
+// SelectedFeatureNames lists the schema columns with non-zero
+// coefficients in either model — what §4.2's cross-platform comparison
+// inspects.
+func (c *Controller) SelectedFeatureNames() []string {
+	seen := map[int]bool{}
+	var names []string
+	for _, j := range append(c.ModelMin.Selected(), c.ModelMax.Selected()...) {
+		if seen[j] {
+			continue
+		}
+		seen[j] = true
+		switch {
+		case j < c.Schema.Dim():
+			names = append(names, c.Schema.Columns[j].Name)
+		case j < c.Schema.Dim()+len(c.hints):
+			names = append(names, "hint:"+c.hints[j-c.Schema.Dim()].Name)
+		default:
+			names = append(names, c.Schema.Columns[c.quadCols[j-c.Schema.Dim()-len(c.hints)]].Name+"²")
+		}
+	}
+	return names
+}
+
+// MemFraction estimates the workload's average memory-time share of
+// job execution from the profiling data — the calibration input the
+// PID baseline needs (its offline training). Controllers rebuilt from
+// a saved model return the stored value.
+func (c *Controller) MemFraction() float64 {
+	if c.memFrac > 0 {
+		return c.memFrac
+	}
+	fmin, fmax := c.Plat.MinLevel().EffFreqHz(), c.Plat.MaxLevel().EffFreqHz()
+	num, den := 0.0, 0.0
+	for i := range c.Prof.TimesMax {
+		tp := dvfs.Solve(c.Prof.TimesMin[i], c.Prof.TimesMax[i], fmin, fmax)
+		num += tp.TmemSec
+		den += c.Prof.TimesMax[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	rho := num / den
+	if rho < 0 {
+		return 0
+	}
+	if rho > 1 {
+		return 1
+	}
+	return rho
+}

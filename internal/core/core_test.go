@@ -1,0 +1,348 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/regress"
+	"repro/internal/taskir"
+	"repro/internal/workload"
+)
+
+func buildLDecode(t *testing.T) *Controller {
+	t.Helper()
+	c, err := Build(workload.LDecode(), Config{ProfileSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildProducesWorkingController(t *testing.T) {
+	c := buildLDecode(t)
+	if c.Schema.Dim() == 0 {
+		t.Fatal("no feature columns")
+	}
+	if c.ModelMin == nil || c.ModelMax == nil {
+		t.Fatal("models missing")
+	}
+	if c.Slice.SliceStmts == 0 {
+		t.Fatal("slice is empty — no features selected at all")
+	}
+	if c.Slice.SliceStmts >= c.Slice.FullStmts {
+		t.Fatalf("slice (%d stmts) not smaller than program (%d)", c.Slice.SliceStmts, c.Slice.FullStmts)
+	}
+}
+
+func TestModelsPredictProfiledTimesWell(t *testing.T) {
+	c := buildLDecode(t)
+	pred := c.ModelMax.PredictAll(c.Prof.X)
+	st := regress.ComputeErrorStats(regress.Errors(pred, c.Prof.TimesMax))
+	// Mean absolute error under 15% of the mean job time.
+	meanT := 0.0
+	for _, v := range c.Prof.TimesMax {
+		meanT += v
+	}
+	meanT /= float64(len(c.Prof.TimesMax))
+	if st.MAE > 0.15*meanT {
+		t.Errorf("fmax model MAE %.3g s too high vs mean %.3g s", st.MAE, meanT)
+	}
+	// Asymmetric penalty: errors skew positive (over-prediction).
+	if st.Mean <= 0 {
+		t.Errorf("mean error %.3g not skewed toward over-prediction", st.Mean)
+	}
+	if frac := float64(st.UnderCount) / float64(st.N); frac > 0.15 {
+		t.Errorf("under-prediction fraction %.2f too high for α=100", frac)
+	}
+}
+
+func TestTfminAboveTfmax(t *testing.T) {
+	c := buildLDecode(t)
+	for i, x := range c.Prof.X {
+		lo := c.ModelMax.Predict(x)
+		hi := c.ModelMin.Predict(x)
+		if hi < lo {
+			t.Fatalf("row %d: predicted t(fmin)=%g < t(fmax)=%g", i, hi, lo)
+		}
+	}
+}
+
+func TestJobStartDecision(t *testing.T) {
+	c := buildLDecode(t)
+	w := c.W
+	gen := w.NewGen(9)
+	globals := w.FreshGlobals()
+	job := &governor.Job{
+		Index:              0,
+		Params:             gen.Next(0),
+		Globals:            globals,
+		DeadlineSec:        0.050,
+		RemainingBudgetSec: 0.050,
+	}
+	dec := c.JobStart(job, c.Plat.MaxLevel())
+	if dec.PredictorSec <= 0 {
+		t.Errorf("predictor time = %g, want > 0", dec.PredictorSec)
+	}
+	if dec.PredictorSec > 0.005 {
+		t.Errorf("predictor time = %g s, implausibly large", dec.PredictorSec)
+	}
+	if math.IsNaN(dec.PredictedExecSec) || dec.PredictedExecSec <= 0 {
+		t.Errorf("predicted exec = %g", dec.PredictedExecSec)
+	}
+	// A 50 ms budget with ~20 ms jobs must not demand max frequency.
+	if dec.Target.Index == c.Plat.MaxLevel().Index {
+		t.Errorf("50ms budget chose max level — no energy saving possible")
+	}
+	// The slice must not have mutated program state.
+	if globals["decoded"] != 0 {
+		t.Errorf("JobStart mutated globals: decoded=%d", globals["decoded"])
+	}
+}
+
+func TestJobStartSliceMatchesFullFeatures(t *testing.T) {
+	// The slice-computed features must agree with the instrumented
+	// program over the selected columns, across evolving program state.
+	c := buildLDecode(t)
+	w := c.W
+	gen := w.NewGen(77)
+	globals := w.FreshGlobals()
+	for i := 0; i < 40; i++ {
+		params := gen.Next(i)
+		sliceTr := features.NewTrace()
+		if _, err := c.Slice.Run(globals, params, sliceTr); err != nil {
+			t.Fatal(err)
+		}
+		fullTr := features.NewTrace()
+		env := taskir.NewEnv(globals) // executes for real, advancing state
+		env.SetParams(params)
+		if _, err := taskir.Run(c.Instr.Prog, env, taskir.RunOptions{Recorder: fullTr}); err != nil {
+			t.Fatal(err)
+		}
+		xs := c.Schema.Vectorize(sliceTr)
+		xf := c.Schema.Vectorize(fullTr)
+		for _, j := range append(c.ModelMin.Selected(), c.ModelMax.Selected()...) {
+			if xs[j] != xf[j] {
+				t.Fatalf("job %d column %d (%s): slice=%g full=%g",
+					i, j, c.Schema.Columns[j].Name, xs[j], xf[j])
+			}
+		}
+	}
+}
+
+func TestLassoShrinksSliceVsKeepAll(t *testing.T) {
+	w := workload.LDecode()
+	lasso, err := Build(w, Config{ProfileSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Build(w, Config{ProfileSeed: 42, KeepAllFeatures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lasso.Slice.SliceStmts > all.Slice.SliceStmts {
+		t.Errorf("lasso slice (%d) larger than keep-all slice (%d)",
+			lasso.Slice.SliceStmts, all.Slice.SliceStmts)
+	}
+}
+
+func TestMemFraction(t *testing.T) {
+	c := buildLDecode(t)
+	rho := c.MemFraction()
+	if rho <= 0 || rho >= 0.8 {
+		t.Errorf("memory fraction = %g, implausible", rho)
+	}
+}
+
+func TestSelectedFeatureNames(t *testing.T) {
+	c := buildLDecode(t)
+	names := c.SelectedFeatureNames()
+	if len(names) == 0 {
+		t.Fatal("no features selected")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestCrossPlatformFeatureStability(t *testing.T) {
+	// §4.2: features selected on ARM and x86 should largely agree,
+	// because they are a function of task semantics, not the platform.
+	w := workload.LDecode()
+	arm, err := Build(w, Config{ProfileSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x86, err := Build(w, Config{ProfileSeed: 42, Plat: platform.IntelI7()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := map[string]bool{}
+	for _, n := range arm.SelectedFeatureNames() {
+		a[n] = true
+	}
+	common := 0
+	for _, n := range x86.SelectedFeatureNames() {
+		if a[n] {
+			common++
+		}
+	}
+	if len(a) > 0 && common == 0 {
+		t.Errorf("no overlap between ARM (%v) and x86 (%v) features",
+			arm.SelectedFeatureNames(), x86.SelectedFeatureNames())
+	}
+}
+
+func TestBuildAllWorkloads(t *testing.T) {
+	for _, w := range workload.All() {
+		jobs := w.EvalJobs
+		if jobs > 200 {
+			jobs = 200 // keep the full-suite build quick
+		}
+		c, err := Build(w, Config{ProfileSeed: 5, ProfileJobs: jobs})
+		if err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+			continue
+		}
+		if c.Slice.SliceStmts == 0 {
+			t.Errorf("%s: empty slice", w.Name)
+		}
+		t.Logf("%-12s features=%d/%d sliceStmts=%d/%d",
+			w.Name, len(c.SelectedFeatureNames()), c.Schema.Dim(),
+			c.Slice.SliceStmts, c.Slice.FullStmts)
+	}
+}
+
+func TestUseHintsExtendsFeatureVector(t *testing.T) {
+	w := workload.LDecode()
+	base, err := Build(w, Config{ProfileSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hinted, err := Build(w, Config{ProfileSeed: 42, UseHints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hinted.Prof.X[0]) != len(base.Prof.X[0])+len(w.Hints) {
+		t.Fatalf("hinted vector = %d cols, want %d + %d hints",
+			len(hinted.Prof.X[0]), len(base.Prof.X[0]), len(w.Hints))
+	}
+	// The hint must be selected (it explains real cost) and named.
+	found := false
+	for _, n := range hinted.SelectedFeatureNames() {
+		if n == "hint:coeffEnergy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hint not selected: %v", hinted.SelectedFeatureNames())
+	}
+	// And the hinted model fits the profile better.
+	baseErr := regress.ComputeErrorStats(regress.Errors(base.ModelMax.PredictAll(base.Prof.X), base.Prof.TimesMax))
+	hintErr := regress.ComputeErrorStats(regress.Errors(hinted.ModelMax.PredictAll(hinted.Prof.X), hinted.Prof.TimesMax))
+	if hintErr.MAE >= baseErr.MAE {
+		t.Errorf("hinted MAE %.4g not below base %.4g", hintErr.MAE, baseErr.MAE)
+	}
+}
+
+func TestMaxPredictorSecCapsSlice(t *testing.T) {
+	w := workload.PocketSphinx()
+	base, err := Build(w, Config{ProfileSeed: 42, ProfileJobs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := Build(w, Config{ProfileSeed: 42, ProfileJobs: 60, MaxPredictorSec: 0.0005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Slice.SliceStmts >= base.Slice.SliceStmts {
+		t.Errorf("capped slice %d stmts not below base %d", capped.Slice.SliceStmts, base.Slice.SliceStmts)
+	}
+	costOf := func(c *Controller) float64 {
+		gen := w.NewGen(3)
+		wk, err := c.Slice.Run(w.FreshGlobals(), gen.Next(0), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Plat.JobTimeAt(wk.CPU, wk.MemSec, c.Plat.MaxLevel())
+	}
+	if costOf(capped) > 0.0007 {
+		t.Errorf("capped slice still costs %.4g s", costOf(capped))
+	}
+	if costOf(base) < 0.001 {
+		t.Errorf("uncapped pocketsphinx slice suspiciously cheap: %.4g s", costOf(base))
+	}
+}
+
+func TestSaveLoadControllerRoundTrip(t *testing.T) {
+	w := workload.LDecode()
+	plat := platform.ODROIDXU3A7()
+	sw := platform.MeasureSwitchTable(plat, 200, 0.95, 1)
+	orig, err := Build(w, Config{Plat: plat, ProfileSeed: 42, Switch: sw, UseHints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveController(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadController(bytes.NewReader(buf.Bytes()), workload.LDecode(), plat, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded controller must make the identical decisions.
+	gen := w.NewGen(9)
+	globals := w.FreshGlobals()
+	for i := 0; i < 40; i++ {
+		job := &governor.Job{
+			Index:              i,
+			Params:             gen.Next(i),
+			Globals:            globals,
+			DeadlineSec:        0.050,
+			RemainingBudgetSec: 0.050,
+		}
+		a := orig.JobStart(job, plat.MaxLevel())
+		b := loaded.JobStart(job, plat.MaxLevel())
+		if a.Target.Index != b.Target.Index {
+			t.Fatalf("job %d: level %d vs %d", i, a.Target.Index, b.Target.Index)
+		}
+		if math.Abs(a.PredictedExecSec-b.PredictedExecSec) > 1e-12 {
+			t.Fatalf("job %d: prediction %g vs %g", i, a.PredictedExecSec, b.PredictedExecSec)
+		}
+	}
+	if math.Abs(loaded.MemFraction()-orig.MemFraction()) > 1e-9 {
+		t.Errorf("mem fraction %g vs %g", loaded.MemFraction(), orig.MemFraction())
+	}
+}
+
+func TestLoadControllerRejectsMismatches(t *testing.T) {
+	w := workload.LDecode()
+	plat := platform.ODROIDXU3A7()
+	orig, err := Build(w, Config{Plat: plat, ProfileSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveController(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong workload.
+	if _, err := LoadController(bytes.NewReader(buf.Bytes()), workload.SHA(), plat, nil); err == nil {
+		t.Error("wrong workload accepted")
+	}
+	// Wrong platform (models are platform-specific, §4.2).
+	if _, err := LoadController(bytes.NewReader(buf.Bytes()), workload.LDecode(), platform.IntelI7(), nil); err == nil {
+		t.Error("wrong platform accepted")
+	}
+	// Corrupt JSON.
+	if _, err := LoadController(bytes.NewReader([]byte("{")), workload.LDecode(), plat, nil); err == nil {
+		t.Error("corrupt document accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dvfs"
+	"repro/internal/features"
+	"repro/internal/instrument"
+	"repro/internal/platform"
+	"repro/internal/regress"
+	"repro/internal/slicer"
+	"repro/internal/workload"
+)
+
+// The paper's deployment model (§4.2): "For common platforms, the
+// program developer can perform this profiling and distribute the
+// trained model coefficients with the program." SaveController and
+// LoadController implement that distribution format: everything the
+// run-time predictor needs — schema columns, the two models, the
+// margin, the hint list — serialized as JSON. The prediction slice
+// itself is NOT stored; it regenerates deterministically from the
+// program and the selected features on load.
+
+// savedModel is the JSON document shape.
+type savedModel struct {
+	Version  int           `json:"version"`
+	Workload string        `json:"workload"`
+	Platform string        `json:"platform"`
+	Margin   float64       `json:"margin"`
+	MemFrac  float64       `json:"mem_fraction"`
+	Hints    []string      `json:"hints,omitempty"`
+	Columns  []savedColumn `json:"columns"`
+	ModelMin savedCoef     `json:"model_fmin"`
+	ModelMax savedCoef     `json:"model_fmax"`
+}
+
+type savedColumn struct {
+	Kind int    `json:"kind"`
+	FID  int    `json:"fid"`
+	Addr int64  `json:"addr,omitempty"`
+	Name string `json:"name"`
+}
+
+type savedCoef struct {
+	Intercept float64   `json:"intercept"`
+	Coef      []float64 `json:"coef"`
+}
+
+const savedModelVersion = 1
+
+// SaveController writes the controller's trained state as JSON.
+func SaveController(w io.Writer, c *Controller) error {
+	if len(c.quadCols) > 0 {
+		return fmt.Errorf("core: quadratic models are not part of the distribution format (retrain without Quadratic)")
+	}
+	doc := savedModel{
+		Version:  savedModelVersion,
+		Workload: c.W.Name,
+		Platform: c.Plat.Name,
+		Margin:   c.Selector.Margin,
+		MemFrac:  c.MemFraction(),
+		ModelMin: savedCoef{Intercept: c.ModelMin.Intercept, Coef: c.ModelMin.Coef},
+		ModelMax: savedCoef{Intercept: c.ModelMax.Intercept, Coef: c.ModelMax.Coef},
+	}
+	for _, h := range c.hints {
+		doc.Hints = append(doc.Hints, h.Param)
+	}
+	for _, col := range c.Schema.Columns {
+		doc.Columns = append(doc.Columns, savedColumn{
+			Kind: int(col.Kind), FID: col.FID, Addr: col.Addr, Name: col.Name,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	return nil
+}
+
+// LoadController reconstructs a run-time controller from a saved model
+// and the task program: re-instrument, rebuild the schema, rehydrate
+// the models, and regenerate the prediction slice for the selected
+// features. The platform must match the one the model was trained on
+// (execution-time models are platform-specific, §4.2).
+func LoadController(r io.Reader, w *workload.Workload, plat *platform.Platform, sw *platform.SwitchTable) (*Controller, error) {
+	var doc savedModel
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if doc.Version != savedModelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", doc.Version)
+	}
+	if doc.Workload != w.Name {
+		return nil, fmt.Errorf("core: model is for %q, not %q", doc.Workload, w.Name)
+	}
+	if doc.Platform != plat.Name {
+		return nil, fmt.Errorf("core: model trained on %q cannot drive %q (retrain coefficients per platform, §4.2)",
+			doc.Platform, plat.Name)
+	}
+	cols := make([]features.Column, len(doc.Columns))
+	for i, c := range doc.Columns {
+		cols[i] = features.Column{
+			Kind: features.ColumnKind(c.Kind), FID: c.FID, Addr: c.Addr, Name: c.Name,
+		}
+	}
+	schema := features.NewSchemaFromColumns(cols)
+	wantDim := schema.Dim() + len(doc.Hints)
+	if len(doc.ModelMin.Coef) != wantDim || len(doc.ModelMax.Coef) != wantDim {
+		return nil, fmt.Errorf("core: model has %d/%d coefficients, want %d",
+			len(doc.ModelMin.Coef), len(doc.ModelMax.Coef), wantDim)
+	}
+	modelMin := &regress.Model{Intercept: doc.ModelMin.Intercept, Coef: doc.ModelMin.Coef}
+	modelMax := &regress.Model{Intercept: doc.ModelMax.Intercept, Coef: doc.ModelMax.Coef}
+
+	var hints []workload.Hint
+	for _, p := range doc.Hints {
+		found := false
+		for _, h := range w.Hints {
+			if h.Param == p {
+				hints = append(hints, h)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: model uses hint %q the workload does not declare", p)
+		}
+	}
+
+	ip := instrument.Instrument(w.Prog)
+	selected := append(modelMin.Selected(), modelMax.Selected()...)
+	need := schema.NeededFIDs(selected)
+	sl := slicer.Extract(ip, need)
+
+	c := &Controller{
+		W:        w,
+		Plat:     plat,
+		Instr:    ip,
+		Slice:    sl,
+		Schema:   schema,
+		ModelMin: modelMin,
+		ModelMax: modelMax,
+		Selector: &dvfs.Selector{Plat: plat, Switch: sw, Margin: doc.Margin},
+		Prof:     &Profile{},
+		hints:    hints,
+		memFrac:  doc.MemFrac,
+	}
+	return c, nil
+}

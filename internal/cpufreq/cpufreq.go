@@ -1,0 +1,139 @@
+// Package cpufreq emulates the Linux cpufreq sysfs interface
+// (/sys/devices/system/cpu/cpuN/cpufreq) over a platform model. The
+// paper's prototype sets frequencies through exactly this interface on
+// the ODROID-XU3's kernel; this shim shows the deployment path — a
+// controller that speaks sysfs runs unmodified against either this
+// emulation or a real /sys tree — and is what the repro band's "sysfs
+// possible" refers to.
+//
+// Supported files mirror the kernel's userspace-governor contract:
+//
+//	scaling_available_frequencies  (read)  "200000 300000 ... 1400000"
+//	scaling_cur_freq               (read)  current frequency in kHz
+//	scaling_min_freq               (read)  lowest available, kHz
+//	scaling_max_freq               (read)  highest available, kHz
+//	scaling_governor               (read/write) must be "userspace" to set speeds
+//	scaling_setspeed               (write) target frequency in kHz
+//	cpuinfo_transition_latency     (read)  worst-case switch, nanoseconds
+package cpufreq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/platform"
+)
+
+// FS is an in-memory cpufreq sysfs directory bound to a platform.
+type FS struct {
+	mu       sync.Mutex
+	plat     *platform.Platform
+	switchTb *platform.SwitchTable
+	governor string
+	cur      platform.Level
+	// Switches counts successful setspeed transitions.
+	Switches int
+}
+
+// New mounts the emulated cpufreq tree for a platform, starting at the
+// maximum level under the "performance" governor, like a fresh boot.
+func New(p *platform.Platform, tbl *platform.SwitchTable) *FS {
+	return &FS{
+		plat:     p,
+		switchTb: tbl,
+		governor: "performance",
+		cur:      p.MaxLevel(),
+	}
+}
+
+// Level returns the current operating point.
+func (fs *FS) Level() platform.Level {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.cur
+}
+
+// Read returns the contents of a cpufreq file (with trailing newline,
+// like the kernel).
+func (fs *FS) Read(name string) (string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	switch name {
+	case "scaling_available_frequencies":
+		freqs := make([]string, len(fs.plat.Levels))
+		for i, l := range fs.plat.Levels {
+			freqs[i] = strconv.Itoa(khz(l))
+		}
+		return strings.Join(freqs, " ") + "\n", nil
+	case "scaling_cur_freq":
+		return strconv.Itoa(khz(fs.cur)) + "\n", nil
+	case "scaling_min_freq":
+		return strconv.Itoa(khz(fs.plat.MinLevel())) + "\n", nil
+	case "scaling_max_freq":
+		return strconv.Itoa(khz(fs.plat.MaxLevel())) + "\n", nil
+	case "scaling_governor":
+		return fs.governor + "\n", nil
+	case "cpuinfo_transition_latency":
+		ns := 0.0
+		if fs.switchTb != nil {
+			ns = fs.switchTb.Max() * 1e9
+		}
+		return strconv.Itoa(int(ns)) + "\n", nil
+	}
+	return "", fmt.Errorf("cpufreq: no such file %q", name)
+}
+
+// Write stores a value into a cpufreq file, enforcing the kernel's
+// rules: setspeed requires the userspace governor and an exact
+// available frequency.
+func (fs *FS) Write(name, value string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	value = strings.TrimSpace(value)
+	switch name {
+	case "scaling_governor":
+		switch value {
+		case "performance":
+			fs.governor = value
+			fs.cur = fs.plat.MaxLevel()
+		case "powersave":
+			fs.governor = value
+			fs.cur = fs.plat.MinLevel()
+		case "userspace":
+			fs.governor = value
+		default:
+			return fmt.Errorf("cpufreq: unknown governor %q", value)
+		}
+		return nil
+	case "scaling_setspeed":
+		if fs.governor != "userspace" {
+			// The kernel returns "<unsupported>" semantics: EINVAL.
+			return fmt.Errorf("cpufreq: scaling_setspeed requires the userspace governor (have %q)", fs.governor)
+		}
+		want, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("cpufreq: bad frequency %q: %w", value, err)
+		}
+		for _, l := range fs.plat.Levels {
+			if khz(l) == want {
+				if l.Index != fs.cur.Index {
+					fs.Switches++
+				}
+				fs.cur = l
+				return nil
+			}
+		}
+		return fmt.Errorf("cpufreq: %d kHz not in scaling_available_frequencies", want)
+	}
+	return fmt.Errorf("cpufreq: cannot write %q", name)
+}
+
+func khz(l platform.Level) int { return int(l.FreqHz / 1e3) }
+
+// SetLevelKHz is the convenience a controller uses: switch to the
+// given frequency through the sysfs contract.
+func (fs *FS) SetLevelKHz(k int) error {
+	return fs.Write("scaling_setspeed", strconv.Itoa(k))
+}

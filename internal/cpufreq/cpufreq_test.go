@@ -1,0 +1,129 @@
+package cpufreq
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	p := platform.ODROIDXU3A7()
+	return New(p, platform.MeasureSwitchTable(p, 100, 0.95, 1))
+}
+
+func TestDefaultsLikeBoot(t *testing.T) {
+	fs := newFS(t)
+	gov, err := fs.Read("scaling_governor")
+	if err != nil || gov != "performance\n" {
+		t.Fatalf("governor = %q, %v", gov, err)
+	}
+	cur, _ := fs.Read("scaling_cur_freq")
+	if cur != "1400000\n" {
+		t.Fatalf("cur = %q, want max", cur)
+	}
+}
+
+func TestAvailableFrequencies(t *testing.T) {
+	fs := newFS(t)
+	s, err := fs.Read("scaling_available_frequencies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(s)
+	if len(fields) != 13 {
+		t.Fatalf("frequencies = %d, want 13", len(fields))
+	}
+	if fields[0] != "200000" || fields[12] != "1400000" {
+		t.Fatalf("range = %s..%s", fields[0], fields[12])
+	}
+	minF, _ := fs.Read("scaling_min_freq")
+	maxF, _ := fs.Read("scaling_max_freq")
+	if minF != "200000\n" || maxF != "1400000\n" {
+		t.Fatalf("min/max = %q/%q", minF, maxF)
+	}
+}
+
+func TestSetspeedRequiresUserspace(t *testing.T) {
+	fs := newFS(t)
+	if err := fs.SetLevelKHz(700000); err == nil {
+		t.Fatal("setspeed under performance governor should fail")
+	}
+	if err := fs.Write("scaling_governor", "userspace"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetLevelKHz(700000); err != nil {
+		t.Fatal(err)
+	}
+	if cur, _ := fs.Read("scaling_cur_freq"); cur != "700000\n" {
+		t.Fatalf("cur = %q", cur)
+	}
+	if fs.Level().FreqHz != 700e6 {
+		t.Fatalf("level = %g", fs.Level().FreqHz)
+	}
+	if fs.Switches != 1 {
+		t.Fatalf("switches = %d", fs.Switches)
+	}
+	// Same-frequency write is not a switch.
+	if err := fs.SetLevelKHz(700000); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Switches != 1 {
+		t.Fatalf("redundant setspeed counted as switch")
+	}
+}
+
+func TestSetspeedRejectsOffGridFrequencies(t *testing.T) {
+	fs := newFS(t)
+	fs.Write("scaling_governor", "userspace")
+	if err := fs.SetLevelKHz(650000); err == nil {
+		t.Fatal("off-grid frequency should be rejected")
+	}
+	if err := fs.Write("scaling_setspeed", "not-a-number"); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+}
+
+func TestGovernorSwitches(t *testing.T) {
+	fs := newFS(t)
+	if err := fs.Write("scaling_governor", "powersave"); err != nil {
+		t.Fatal(err)
+	}
+	if cur, _ := fs.Read("scaling_cur_freq"); cur != "200000\n" {
+		t.Fatalf("powersave cur = %q", cur)
+	}
+	if err := fs.Write("scaling_governor", "ondemandish"); err == nil {
+		t.Fatal("unknown governor should be rejected")
+	}
+}
+
+func TestTransitionLatencyExposed(t *testing.T) {
+	fs := newFS(t)
+	s, err := fs.Read("cpuinfo_transition_latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worst 95th-percentile transition is in the millisecond range.
+	if ns < 1_000_000 || ns > 20_000_000 {
+		t.Fatalf("transition latency %d ns implausible", ns)
+	}
+}
+
+func TestUnknownFiles(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Read("bogus"); err == nil {
+		t.Fatal("unknown read should fail")
+	}
+	if err := fs.Write("bogus", "1"); err == nil {
+		t.Fatal("unknown write should fail")
+	}
+	if err := fs.Write("scaling_cur_freq", "1"); err == nil {
+		t.Fatal("read-only file write should fail")
+	}
+}

@@ -1,0 +1,366 @@
+package experiments
+
+import "testing"
+
+func TestAblationMargin(t *testing.T) {
+	pts, err := testSuite.RunAblationMargin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Margin != 0 {
+		t.Fatalf("first point margin = %g, want 0", pts[0].Margin)
+	}
+	// Energy grows (weakly) with margin; misses shrink (weakly).
+	first, last := pts[0], pts[len(pts)-1]
+	if last.EnergyPct < first.EnergyPct-0.5 {
+		t.Errorf("energy at margin %.2f (%.1f%%) below margin 0 (%.1f%%)",
+			last.Margin, last.EnergyPct, first.EnergyPct)
+	}
+	if last.MissPct > first.MissPct {
+		t.Errorf("misses at margin %.2f (%.2f%%) above margin 0 (%.2f%%)",
+			last.Margin, last.MissPct, first.MissPct)
+	}
+	// The paper's 10% margin keeps ldecode miss-free.
+	for _, p := range pts {
+		if p.Margin >= 0.10 && p.MissPct > 0.5 {
+			t.Errorf("margin %.2f: misses %.2f%%, want ≈0", p.Margin, p.MissPct)
+		}
+	}
+}
+
+func TestAblationSwitchTable(t *testing.T) {
+	rows, err := testSuite.RunAblationSwitchTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Table != "p95" || rows[1].Table != "mean" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// The mean table is less conservative: it must not cost MORE energy
+	// than p95 (it can only pick lower-or-equal levels).
+	if rows[1].EnergyPct > rows[0].EnergyPct+0.5 {
+		t.Errorf("mean-table energy %.1f%% above p95 %.1f%%", rows[1].EnergyPct, rows[0].EnergyPct)
+	}
+	// And p95 keeps misses at least as low as mean.
+	if rows[0].MissPct > rows[1].MissPct+0.1 {
+		t.Errorf("p95 misses %.2f%% above mean %.2f%%", rows[0].MissPct, rows[1].MissPct)
+	}
+}
+
+func TestAblationSlice(t *testing.T) {
+	rows, err := testSuite.RunAblationSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.LassoStmts > r.FullStmts {
+			t.Errorf("%s: lasso slice (%d) larger than keep-all (%d)",
+				r.Benchmark, r.LassoStmts, r.FullStmts)
+		}
+		if r.LassoPredMS > r.FullPredMS+0.05 {
+			t.Errorf("%s: lasso predictor %.3f ms above keep-all %.3f ms",
+				r.Benchmark, r.LassoPredMS, r.FullPredMS)
+		}
+	}
+}
+
+func TestPlacementStudy(t *testing.T) {
+	rows, err := testSuite.RunPlacement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ahead := 0
+	for _, r := range rows {
+		if r.KnownAhead {
+			ahead++
+		}
+		seq := r.EnergyPct["sequential"]
+		for _, mode := range PlacementModes {
+			e, m := r.EnergyPct[mode], r.MissPct[mode]
+			if e <= 0 || m < 0 {
+				t.Errorf("%s/%s: bad values %g/%g", r.Benchmark, mode, e, m)
+			}
+			// The paper's conclusion: with these predictors, placement
+			// barely matters (§4.3) — modes stay within a few percent.
+			if mathAbs(e-seq) > 5 {
+				t.Errorf("%s: %s energy %g far from sequential %g", r.Benchmark, mode, e, seq)
+			}
+			// Overlapped modes never miss more than sequential + slack.
+			if mode != "sequential" && m > r.MissPct["sequential"]+2 {
+				t.Errorf("%s: %s misses %g above sequential %g", r.Benchmark, mode, m, r.MissPct["sequential"])
+			}
+		}
+	}
+	// The data-driven benchmarks can pipeline; the interactive ones not.
+	if ahead != 4 {
+		t.Errorf("known-ahead workloads = %d, want 4", ahead)
+	}
+}
+
+func TestBatchStudy(t *testing.T) {
+	pts, err := testSuite.RunBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 || pts[0].K != 1 {
+		t.Fatalf("points = %+v", pts)
+	}
+	// Amortization pays at millisecond budgets: some K > 1 beats K=1 on
+	// BOTH energy and misses.
+	improved := false
+	for _, p := range pts[1:] {
+		if p.EnergyPct <= pts[0].EnergyPct && p.MissPct <= pts[0].MissPct {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Errorf("no batch size improves on per-job prediction: %+v", pts)
+	}
+}
+
+func mathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestHeteroStudy(t *testing.T) {
+	pts, err := testSuite.RunHetero()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	tight, loose := pts[0], pts[len(pts)-1]
+	// Below the A7's reach (0.5× its worst case), the little core
+	// misses everything while the heterogeneous grid saves the
+	// deadlines by migrating to the A15 — at a steep energy premium.
+	if tight.A7MissPct < 90 {
+		t.Errorf("A7 at 0.5x misses %.1f%%, want ≈100%%", tight.A7MissPct)
+	}
+	if tight.BigMissPct > 5 {
+		t.Errorf("big.LITTLE at 0.5x misses %.1f%%, want ≈0", tight.BigMissPct)
+	}
+	if tight.BigEnergyPct <= tight.A7EnergyPct {
+		t.Errorf("A15 rescue should cost energy: %.1f vs %.1f", tight.BigEnergyPct, tight.A7EnergyPct)
+	}
+	if tight.A15Share < 0.8 {
+		t.Errorf("A15 share at 0.5x = %.2f, want ≈1", tight.A15Share)
+	}
+	// With slack, the controller stays on the efficient little core and
+	// the two platforms converge.
+	if loose.A15Share > 0.2 {
+		t.Errorf("A15 share at 1.2x = %.2f, want small", loose.A15Share)
+	}
+	if mathAbs(loose.BigEnergyPct-loose.A7EnergyPct) > 8 {
+		t.Errorf("platforms did not converge at slack: %.1f vs %.1f",
+			loose.BigEnergyPct, loose.A7EnergyPct)
+	}
+	// A15 usage decreases monotonically with budget.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].A15Share > pts[i-1].A15Share+0.02 {
+			t.Errorf("A15 share not decreasing: %.2f -> %.2f at budget %.1f",
+				pts[i-1].A15Share, pts[i].A15Share, pts[i].NormBudget)
+		}
+	}
+	// Energy-aware ranking is a wash on this grid (the feasibility
+	// frontier rarely crosses cluster boundaries, and migrations eat
+	// the theoretical gain): it must stay within a few percent and
+	// never trade misses.
+	for _, p := range pts {
+		if mathAbs(p.EAEnergyPct-p.BigEnergyPct) > 5 {
+			t.Errorf("budget %.1f: energy-aware %.1f far from min-freq %.1f",
+				p.NormBudget, p.EAEnergyPct, p.BigEnergyPct)
+		}
+		if p.EAMissPct > p.BigMissPct+1 {
+			t.Errorf("budget %.1f: energy-aware misses %.1f above %.1f",
+				p.NormBudget, p.EAMissPct, p.BigMissPct)
+		}
+	}
+}
+
+func TestHintsImproveValueDependentBenchmarks(t *testing.T) {
+	rows, err := testSuite.RunHints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The hint exposes exactly the value-dependent cost, so the
+		// model must get more accurate...
+		if r.HintMAEms >= r.BaseMAEms {
+			t.Errorf("%s: hint MAE %.2f not below base %.2f", r.Benchmark, r.HintMAEms, r.BaseMAEms)
+		}
+		// ...and at least not cost energy or misses.
+		if r.HintEnergyPct > r.BaseEnergyPct+1 {
+			t.Errorf("%s: hint energy %.1f above base %.1f", r.Benchmark, r.HintEnergyPct, r.BaseEnergyPct)
+		}
+		if r.HintMissPct > r.BaseMissPct+0.5 {
+			t.Errorf("%s: hint misses %.1f above base %.1f", r.Benchmark, r.HintMissPct, r.BaseMissPct)
+		}
+	}
+}
+
+func TestOverheadCapTradesAccuracyForSpeed(t *testing.T) {
+	pts, err := testSuite.RunOverheadCap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 || pts[0].CapMS != 0 {
+		t.Fatalf("points = %+v", pts)
+	}
+	base := pts[0]
+	tightest := pts[len(pts)-1]
+	// The tightest cap must actually shrink the predictor...
+	if tightest.PredictorMS >= base.PredictorMS/5 {
+		t.Errorf("cap %.1fms: predictor %.2fms, want ≪ %.2fms",
+			tightest.CapMS, tightest.PredictorMS, base.PredictorMS)
+	}
+	if tightest.Features >= base.Features {
+		t.Errorf("cap did not drop features: %d vs %d", tightest.Features, base.Features)
+	}
+	// ...at some energy cost, but never at the cost of deadlines
+	// (the margin machinery is untouched).
+	if tightest.EnergyPct < base.EnergyPct-1 {
+		t.Errorf("capped energy %.1f below uncapped %.1f — dropped feature was free?",
+			tightest.EnergyPct, base.EnergyPct)
+	}
+	if tightest.MissPct > 1 {
+		t.Errorf("capped controller misses %.2f%%", tightest.MissPct)
+	}
+	// Caps are monotone: tighter cap → no larger predictor.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PredictorMS > pts[i-1].PredictorMS+0.2 {
+			t.Errorf("predictor time not monotone under tightening caps: %+v", pts)
+		}
+	}
+}
+
+func TestMultiTaskStudy(t *testing.T) {
+	rows, err := testSuite.RunMultiTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].Scenario != "performance" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	perf, pred := rows[0], rows[1]
+	if perf.MissPct[0] > 0.5 || perf.MissPct[1] > 0.5 {
+		t.Errorf("performance baseline misses: %v", perf.MissPct)
+	}
+	if pred.EnergyPct > 50 {
+		t.Errorf("multi-task prediction energy %.1f%%, want large savings", pred.EnergyPct)
+	}
+	// Per-task controllers are mutually unaware, so the short-budget
+	// task queues behind stretched decoder jobs occasionally — the
+	// contention limitation the paper's §7 names. It must stay small.
+	if pred.MissPct[0] > 1 {
+		t.Errorf("ldecode misses %.2f%%", pred.MissPct[0])
+	}
+	if pred.MissPct[1] > 5 {
+		t.Errorf("xpilot misses %.2f%% — contention out of hand", pred.MissPct[1])
+	}
+	coord := rows[2]
+	if coord.Scenario != "pred+coord" {
+		t.Fatalf("third row = %q", coord.Scenario)
+	}
+	// Coordination trades a little energy for the contention misses.
+	if coord.MissPct[1] > pred.MissPct[1] {
+		t.Errorf("coordination raised xpilot misses: %.2f vs %.2f", coord.MissPct[1], pred.MissPct[1])
+	}
+	if coord.EnergyPct > pred.EnergyPct*1.25 {
+		t.Errorf("coordination energy %.1f%% too far above plain %.1f%%", coord.EnergyPct, pred.EnergyPct)
+	}
+}
+
+func TestQuadraticLittleGain(t *testing.T) {
+	rows, err := testSuite.RunQuadratic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's claim (§3.5/§5.3): higher-order models give
+	// "relatively little gain". Quadratic must stay within a tight
+	// band of linear on every metric.
+	for _, r := range rows {
+		if mathAbs(r.QuadMAEms-r.LinearMAEms) > 0.3*r.LinearMAEms+0.05 {
+			t.Errorf("%s: quad MAE %.2f far from linear %.2f", r.Benchmark, r.QuadMAEms, r.LinearMAEms)
+		}
+		if mathAbs(r.QuadEnergyPct-r.LinearEnergyPct) > 2 {
+			t.Errorf("%s: quad energy %.1f far from linear %.1f", r.Benchmark, r.QuadEnergyPct, r.LinearEnergyPct)
+		}
+		if r.QuadMissPct > r.LinearMissPct+0.5 {
+			t.Errorf("%s: quad misses %.1f above linear %.1f", r.Benchmark, r.QuadMissPct, r.LinearMissPct)
+		}
+	}
+}
+
+func TestBaselinesPareto(t *testing.T) {
+	rows, err := testSuite.RunBaselines("ldecode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]BaselineRow{}
+	for _, r := range rows {
+		byName[r.Governor] = r
+	}
+	if len(byName) != 7 {
+		t.Fatalf("governors = %d", len(byName))
+	}
+	pred := byName["prediction"]
+	// Prediction is the only controller with both near-PID energy and
+	// near-performance misses: every other governor is worse on at
+	// least one axis by a clear margin.
+	if pred.MissPct > 0.5 {
+		t.Fatalf("prediction misses %.2f%%", pred.MissPct)
+	}
+	for _, g := range []string{"powersave", "ondemand", "interactive", "movingavg", "pid"} {
+		r := byName[g]
+		worseEnergy := r.EnergyPct > pred.EnergyPct+5
+		worseMisses := r.MissPct > pred.MissPct+1
+		if !worseEnergy && !worseMisses {
+			t.Errorf("%s dominates prediction: %.1f%%/%.2f%% vs %.1f%%/%.2f%%",
+				g, r.EnergyPct, r.MissPct, pred.EnergyPct, pred.MissPct)
+		}
+	}
+	// The reactive pair lags: both miss far more than prediction.
+	if byName["movingavg"].MissPct < 5 || byName["pid"].MissPct < 5 {
+		t.Errorf("reactive baselines suspiciously accurate: ma %.1f%%, pid %.1f%%",
+			byName["movingavg"].MissPct, byName["pid"].MissPct)
+	}
+}
+
+// Same seed ⇒ bit-identical experiment results (the repo's determinism
+// guarantee).
+func TestSuiteDeterminism(t *testing.T) {
+	a, err := NewSuite(99).RunFig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSuite(99).RunFig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for _, g := range GovernorNames {
+			if a[i].EnergyPct[g] != b[i].EnergyPct[g] || a[i].MissPct[g] != b[i].MissPct[g] {
+				t.Fatalf("row %s governor %s differs across identical suites", a[i].Benchmark, g)
+			}
+		}
+	}
+}

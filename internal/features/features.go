@@ -1,0 +1,213 @@
+// Package features turns raw control-flow feature events into fixed
+// numeric vectors for the execution-time model (paper §3.2–3.3).
+//
+// Branch and loop counters map directly to columns. Function-pointer
+// call addresses are converted to a one-hot encoding — one column per
+// (call site, address) pair observed during profiling, set to 1 when
+// the job called that address — exactly as described in §3.3.
+package features
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/instrument"
+)
+
+// Trace records the feature events of a single job. It implements
+// taskir.FeatureRecorder.
+type Trace struct {
+	// Counts holds branch/loop counter values keyed by FID.
+	Counts map[int]int64
+	// CallAddrs holds the set of addresses each call-site FID
+	// dispatched to during the job.
+	CallAddrs map[int]map[int64]bool
+}
+
+// NewTrace returns an empty per-job trace.
+func NewTrace() *Trace {
+	return &Trace{Counts: map[int]int64{}, CallAddrs: map[int]map[int64]bool{}}
+}
+
+// AddFeature implements taskir.FeatureRecorder.
+func (t *Trace) AddFeature(fid int, amount int64) {
+	t.Counts[fid] += amount
+}
+
+// RecordCall implements taskir.FeatureRecorder.
+func (t *Trace) RecordCall(fid int, addr int64) {
+	m := t.CallAddrs[fid]
+	if m == nil {
+		m = map[int64]bool{}
+		t.CallAddrs[fid] = m
+	}
+	m[addr] = true
+}
+
+// Reset clears the trace for reuse on the next job.
+func (t *Trace) Reset() {
+	for k := range t.Counts {
+		delete(t.Counts, k)
+	}
+	for k := range t.CallAddrs {
+		delete(t.CallAddrs, k)
+	}
+}
+
+// ColumnKind distinguishes counter columns from call one-hot columns.
+type ColumnKind int
+
+// Column kinds.
+const (
+	// ColCounter is a branch or loop counter value.
+	ColCounter ColumnKind = iota
+	// ColCallAddr is a 0/1 indicator that a call site invoked an
+	// address.
+	ColCallAddr
+)
+
+// Column describes one entry of the feature vector.
+type Column struct {
+	Kind ColumnKind
+	// FID is the feature site the column derives from.
+	FID int
+	// Addr is the callee address for ColCallAddr columns.
+	Addr int64
+	// Name is a stable human-readable label like "loop#3" or
+	// "call#5@addr7".
+	Name string
+}
+
+// Schema is a fixed mapping from feature traces to numeric vectors.
+// It is built once from profiling data and reused at run time.
+type Schema struct {
+	Columns []Column
+	// index maps (fid) → column for counters and (fid,addr) → column
+	// for call indicators.
+	counterIdx map[int]int
+	callIdx    map[int]map[int64]int
+}
+
+// BuildSchema constructs a schema for the instrumented program from
+// profiling traces: counter sites become one column each; call sites
+// become one column per distinct address observed across all traces.
+// Column order is deterministic: sites by FID, addresses ascending.
+func BuildSchema(ip *instrument.Program, traces []*Trace) *Schema {
+	s := &Schema{
+		counterIdx: map[int]int{},
+		callIdx:    map[int]map[int64]int{},
+	}
+	// Collect all addresses seen per call site.
+	addrs := map[int]map[int64]bool{}
+	for _, tr := range traces {
+		for fid, set := range tr.CallAddrs {
+			m := addrs[fid]
+			if m == nil {
+				m = map[int64]bool{}
+				addrs[fid] = m
+			}
+			for a := range set {
+				m[a] = true
+			}
+		}
+	}
+	for _, site := range ip.Sites {
+		switch site.Kind {
+		case instrument.KindBranch, instrument.KindLoop:
+			s.counterIdx[site.FID] = len(s.Columns)
+			s.Columns = append(s.Columns, Column{
+				Kind: ColCounter,
+				FID:  site.FID,
+				Name: fmt.Sprintf("%s#%d", site.Kind, site.CtrlID),
+			})
+		case instrument.KindCall:
+			seen := addrs[site.FID]
+			sorted := make([]int64, 0, len(seen))
+			for a := range seen {
+				sorted = append(sorted, a)
+			}
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			if len(sorted) > 0 {
+				s.callIdx[site.FID] = map[int64]int{}
+			}
+			for _, a := range sorted {
+				s.callIdx[site.FID][a] = len(s.Columns)
+				s.Columns = append(s.Columns, Column{
+					Kind: ColCallAddr,
+					FID:  site.FID,
+					Addr: a,
+					Name: fmt.Sprintf("call#%d@addr%d", site.CtrlID, a),
+				})
+			}
+		}
+	}
+	return s
+}
+
+// Dim returns the feature vector length.
+func (s *Schema) Dim() int { return len(s.Columns) }
+
+// Vectorize converts a job trace to a feature vector under the schema.
+// Addresses never seen during profiling contribute nothing (their
+// one-hot column does not exist), mirroring a deployed predictor that
+// can only use columns it was trained with.
+func (s *Schema) Vectorize(tr *Trace) []float64 {
+	x := make([]float64, len(s.Columns))
+	for fid, v := range tr.Counts {
+		if idx, ok := s.counterIdx[fid]; ok {
+			x[idx] = float64(v)
+		}
+	}
+	for fid, set := range tr.CallAddrs {
+		cols, ok := s.callIdx[fid]
+		if !ok {
+			continue
+		}
+		for a := range set {
+			if idx, ok := cols[a]; ok {
+				x[idx] = 1
+			}
+		}
+	}
+	return x
+}
+
+// NeededFIDs maps a set of selected columns (non-zero model
+// coefficients) back to the feature sites the prediction slice must
+// still compute. A call site is needed if any of its address columns
+// is selected.
+func (s *Schema) NeededFIDs(selected []int) map[int]bool {
+	need := map[int]bool{}
+	for _, c := range selected {
+		if c < 0 || c >= len(s.Columns) {
+			continue
+		}
+		need[s.Columns[c].FID] = true
+	}
+	return need
+}
+
+// NewSchemaFromColumns reconstructs a schema from a stored column
+// list — the deserialization path for distributing trained models
+// with a program (§4.2).
+func NewSchemaFromColumns(cols []Column) *Schema {
+	s := &Schema{
+		Columns:    append([]Column(nil), cols...),
+		counterIdx: map[int]int{},
+		callIdx:    map[int]map[int64]int{},
+	}
+	for i, c := range s.Columns {
+		switch c.Kind {
+		case ColCounter:
+			s.counterIdx[c.FID] = i
+		case ColCallAddr:
+			m := s.callIdx[c.FID]
+			if m == nil {
+				m = map[int64]int{}
+				s.callIdx[c.FID] = m
+			}
+			m[c.Addr] = i
+		}
+	}
+	return s
+}

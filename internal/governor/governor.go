@@ -1,0 +1,118 @@
+// Package governor implements the DVFS controllers the paper evaluates
+// (§5.1): the Linux performance and interactive governors, a PID-based
+// deadline controller, and an oracle, plus the Governor interface the
+// prediction-based controller (built in internal/core) plugs into.
+package governor
+
+import (
+	"math"
+
+	"repro/internal/platform"
+	"repro/internal/taskir"
+)
+
+// Job carries everything a controller may observe about a job before
+// it runs. Governors must treat Params and Globals as read-only.
+type Job struct {
+	// Index is the job's sequence number within the run.
+	Index int
+	// Params are the job's input values.
+	Params map[string]int64
+	// Globals is the live program state at job start.
+	Globals map[string]int64
+	// ReleaseSec and DeadlineSec are absolute times; RemainingBudgetSec
+	// is DeadlineSec minus the job's actual start time (less than the
+	// full budget when the previous job overran its period).
+	ReleaseSec, DeadlineSec, RemainingBudgetSec float64
+	// PeekWork returns the job's true work without executing it (it
+	// interprets the task against isolated state). Only the oracle
+	// controller may call it — it stands in for the paper's "recorded
+	// job times from a previous run with the same inputs" (§5.3).
+	PeekWork func() taskir.Work
+}
+
+// Decision is a controller's job-start output.
+type Decision struct {
+	// Target is the level to run the job at.
+	Target platform.Level
+	// PredictorSec is time spent computing the decision before the job
+	// (the prediction slice's execution time); it is consumed from the
+	// job's budget at the current level.
+	PredictorSec float64
+	// PredictedExecSec is the controller's expectation of the job's
+	// execution time at Target; NaN when the controller has none.
+	PredictedExecSec float64
+}
+
+// Governor is a DVFS controller under simulation.
+type Governor interface {
+	// Name identifies the controller in results ("performance", ...).
+	Name() string
+	// JobStart is invoked when a job begins; cur is the current level.
+	JobStart(job *Job, cur platform.Level) Decision
+	// JobEnd reports the job's actual execution time (the portion at
+	// the target level, excluding predictor and switch overhead).
+	JobEnd(job *Job, actualExecSec float64)
+	// SampleInterval returns the utilization sampling period for
+	// load-driven governors, or 0 for job-triggered governors.
+	SampleInterval() float64
+	// Sample is invoked every SampleInterval with the CPU utilization
+	// of the elapsed window; it returns the level to switch to.
+	Sample(util float64, cur platform.Level) platform.Level
+}
+
+// Base provides no-op hooks for job-triggered governors.
+type Base struct{}
+
+// JobEnd implements Governor with no feedback.
+func (Base) JobEnd(*Job, float64) {}
+
+// SampleInterval implements Governor with no sampling.
+func (Base) SampleInterval() float64 { return 0 }
+
+// Sample implements Governor; it never changes the level.
+func (Base) Sample(_ float64, cur platform.Level) platform.Level { return cur }
+
+// Performance always runs at maximum frequency — the paper's energy
+// baseline (energy results are normalized to it).
+type Performance struct {
+	Base
+	Plat *platform.Platform
+}
+
+// Name implements Governor.
+func (*Performance) Name() string { return "performance" }
+
+// JobStart implements Governor.
+func (g *Performance) JobStart(_ *Job, _ platform.Level) Decision {
+	return Decision{Target: g.Plat.MaxLevel(), PredictedExecSec: math.NaN()}
+}
+
+// Powersave always runs at minimum frequency.
+type Powersave struct {
+	Base
+	Plat *platform.Platform
+}
+
+// Name implements Governor.
+func (*Powersave) Name() string { return "powersave" }
+
+// JobStart implements Governor.
+func (g *Powersave) JobStart(_ *Job, _ platform.Level) Decision {
+	return Decision{Target: g.Plat.MinLevel(), PredictedExecSec: math.NaN()}
+}
+
+// Fixed pins execution at one level — used to characterize the
+// time–frequency relationship (Fig 9).
+type Fixed struct {
+	Base
+	Level platform.Level
+}
+
+// Name implements Governor.
+func (*Fixed) Name() string { return "fixed" }
+
+// JobStart implements Governor.
+func (g *Fixed) JobStart(_ *Job, _ platform.Level) Decision {
+	return Decision{Target: g.Level, PredictedExecSec: math.NaN()}
+}

@@ -1,0 +1,352 @@
+package governor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/taskir"
+)
+
+func plat() *platform.Platform { return platform.ODROIDXU3A7() }
+
+func job(budget float64) *Job {
+	return &Job{
+		Index:              1,
+		Params:             map[string]int64{},
+		Globals:            map[string]int64{},
+		DeadlineSec:        budget,
+		RemainingBudgetSec: budget,
+	}
+}
+
+func TestPerformanceAlwaysMax(t *testing.T) {
+	p := plat()
+	g := &Performance{Plat: p}
+	for _, cur := range []platform.Level{p.MinLevel(), p.Levels[6], p.MaxLevel()} {
+		d := g.JobStart(job(0.05), cur)
+		if d.Target.Index != p.MaxLevel().Index {
+			t.Errorf("from level %d got %d, want max", cur.Index, d.Target.Index)
+		}
+		if d.PredictorSec != 0 {
+			t.Errorf("performance has predictor cost %g", d.PredictorSec)
+		}
+	}
+	if g.Name() != "performance" {
+		t.Errorf("name = %s", g.Name())
+	}
+	if g.SampleInterval() != 0 {
+		t.Errorf("performance should not sample")
+	}
+}
+
+func TestPowersaveAlwaysMin(t *testing.T) {
+	p := plat()
+	g := &Powersave{Plat: p}
+	d := g.JobStart(job(0.05), p.MaxLevel())
+	if d.Target.Index != 0 {
+		t.Errorf("got level %d, want 0", d.Target.Index)
+	}
+}
+
+func TestFixedStaysPut(t *testing.T) {
+	p := plat()
+	g := &Fixed{Level: p.Levels[4]}
+	if d := g.JobStart(job(0.05), p.MaxLevel()); d.Target.Index != 4 {
+		t.Errorf("fixed governor moved to %d", d.Target.Index)
+	}
+}
+
+func TestInteractiveHispeedJump(t *testing.T) {
+	p := plat()
+	g := &Interactive{Plat: p}
+	if got := g.Sample(0.90, p.Levels[3]); got.Index != p.MaxLevel().Index {
+		t.Errorf("util 0.90 from level 3 → %d, want max", got.Index)
+	}
+	if got := g.Sample(0.85, p.Levels[0]); got.Index != p.MaxLevel().Index {
+		t.Errorf("util exactly at threshold should jump, got %d", got.Index)
+	}
+}
+
+func TestInteractiveProportionalScaling(t *testing.T) {
+	p := plat()
+	g := &Interactive{Plat: p}
+	// Moderate load from a high level scales down, but only one level
+	// per sample (hysteresis).
+	cur := p.MaxLevel()
+	got := g.Sample(0.30, cur)
+	if got.Index != cur.Index-1 {
+		t.Errorf("down-ramp: got level %d, want %d", got.Index, cur.Index-1)
+	}
+	// Rising load from a low level can jump several levels up at once.
+	got = g.Sample(0.80, p.Levels[2])
+	if got.Index <= 3 {
+		t.Errorf("up-scaling too timid: level %d", got.Index)
+	}
+	if got.Index == p.MaxLevel().Index {
+		t.Errorf("util 0.80 below hispeed should not jump to max")
+	}
+}
+
+func TestInteractiveJobStartKeepsLevel(t *testing.T) {
+	p := plat()
+	g := &Interactive{Plat: p}
+	if d := g.JobStart(job(0.05), p.Levels[5]); d.Target.Index != 5 {
+		t.Errorf("interactive moved at job start")
+	}
+	if g.SampleInterval() != 0.080 {
+		t.Errorf("sample interval = %g, want 0.080", g.SampleInterval())
+	}
+	g2 := &Interactive{Plat: p, SamplePeriodSec: 0.02}
+	if g2.SampleInterval() != 0.02 {
+		t.Errorf("custom interval ignored")
+	}
+}
+
+func TestPIDColdStartConservative(t *testing.T) {
+	p := plat()
+	g := &PID{Plat: p, MemFraction: 0.1}
+	d := g.JobStart(job(0.05), p.Levels[3])
+	if d.Target.Index != p.MaxLevel().Index {
+		t.Errorf("cold start level %d, want max", d.Target.Index)
+	}
+	if !math.IsNaN(d.PredictedExecSec) {
+		t.Errorf("cold start should not claim a prediction")
+	}
+}
+
+func TestPIDConvergesOnSteadyLoad(t *testing.T) {
+	p := plat()
+	g := &PID{Plat: p, MemFraction: 0.1}
+	const actual = 0.010 // steady 10ms jobs at whatever level chosen
+	var last Decision
+	for i := 0; i < 60; i++ {
+		last = g.JobStart(job(0.05), p.MaxLevel())
+		// Report the job as if it ran at the chosen level taking the
+		// equivalent of 10ms at fmax.
+		rho := 0.1
+		t10 := actual*rho + actual*(1-rho)*p.MaxLevel().FreqHz/last.Target.FreqHz
+		g.JobEnd(job(0.05), t10)
+	}
+	// 10ms at fmax with 50ms budget: should settle well below max.
+	if last.Target.Index > 5 {
+		t.Errorf("steady load settled at level %d, want low", last.Target.Index)
+	}
+	if math.Abs(g.estFmaxSec-actual) > 0.004 {
+		t.Errorf("estimate %.4f far from actual %.4f", g.estFmaxSec, actual)
+	}
+}
+
+func TestPIDLagsOnSpike(t *testing.T) {
+	p := plat()
+	g := &PID{Plat: p, MemFraction: 0.1}
+	// Train on small jobs, then check the decision before a spike.
+	for i := 0; i < 30; i++ {
+		d := g.JobStart(job(0.05), p.MaxLevel())
+		rho := 0.1
+		tl := 0.005 * (rho + (1-rho)*p.MaxLevel().FreqHz/d.Target.FreqHz)
+		g.JobEnd(job(0.05), tl)
+	}
+	d := g.JobStart(job(0.05), p.MaxLevel())
+	// The controller expects ~5ms; a 40ms-at-fmax spike would miss at
+	// this level if the level can't cover it.
+	spikeAtLevel := 0.040 * (0.1 + 0.9*p.MaxLevel().FreqHz/d.Target.FreqHz)
+	if spikeAtLevel <= 0.05 {
+		t.Errorf("PID level %d absorbs a 40ms spike (%.3fs) — too conservative to show lag",
+			d.Target.Index, spikeAtLevel)
+	}
+}
+
+func TestPIDEstimateNeverNegative(t *testing.T) {
+	p := plat()
+	g := &PID{Plat: p, MemFraction: 0.1}
+	for i := 0; i < 50; i++ {
+		g.JobStart(job(0.05), p.MaxLevel())
+		g.JobEnd(job(0.05), 0.00001) // tiny jobs drive the estimate down
+	}
+	if g.estFmaxSec < 0 {
+		t.Errorf("estimate went negative: %g", g.estFmaxSec)
+	}
+}
+
+func TestOraclePicksMinimalFeasibleLevel(t *testing.T) {
+	p := plat()
+	g := &Oracle{Plat: p}
+	w := taskir.Work{CPU: 14e6, MemSec: 0.002} // 12ms at fmax
+	j := job(0.05)
+	j.PeekWork = func() taskir.Work { return w }
+	d := g.JobStart(j, p.MaxLevel())
+	// Chosen level runs within budget...
+	tAt := p.JobTimeAt(w.CPU, w.MemSec, d.Target)
+	if tAt > 0.05 {
+		t.Errorf("oracle pick takes %.3fs > budget", tAt)
+	}
+	// ...and the next lower level would not (with margin).
+	if d.Target.Index > 0 {
+		lower := p.Levels[d.Target.Index-1]
+		if p.JobTimeAt(w.CPU*1.12, w.MemSec*1.12, lower) <= 0.05 {
+			t.Errorf("oracle not minimal: level %d also fits", lower.Index)
+		}
+	}
+	if math.IsNaN(d.PredictedExecSec) {
+		t.Errorf("oracle should predict exec time")
+	}
+}
+
+func TestBaseNoOps(t *testing.T) {
+	var b Base
+	b.JobEnd(nil, 0)
+	if b.SampleInterval() != 0 {
+		t.Error("Base samples")
+	}
+	p := plat()
+	if got := b.Sample(0.5, p.Levels[2]); got.Index != 2 {
+		t.Error("Base.Sample moved level")
+	}
+}
+
+func TestOndemandJumpsAndScales(t *testing.T) {
+	p := plat()
+	g := &Ondemand{Plat: p}
+	if g.SampleInterval() != 0.020 {
+		t.Errorf("interval = %g", g.SampleInterval())
+	}
+	if got := g.Sample(0.85, p.Levels[2]); got.Index != p.MaxLevel().Index {
+		t.Errorf("high load should jump to max, got %d", got.Index)
+	}
+	// Low load scales proportionally, possibly several levels at once
+	// (no hysteresis, unlike our interactive model).
+	got := g.Sample(0.20, p.MaxLevel())
+	if got.Index >= p.MaxLevel().Index-1 {
+		t.Errorf("ondemand should drop multiple levels, got %d", got.Index)
+	}
+	if d := g.JobStart(job(0.05), p.Levels[4]); d.Target.Index != 4 {
+		t.Errorf("ondemand moved at job start")
+	}
+}
+
+func TestCoordinatorReservesOtherTasksDemand(t *testing.T) {
+	p := plat()
+	c := NewCoordinator()
+	// Task A: 100ms period; Task B: 50ms period, phase 37ms.
+	innerA := &countingGov{plat: p}
+	innerB := &countingGov{plat: p}
+	ga := c.Wrap(innerA, 0.100, 0)
+	gb := c.Wrap(innerB, 0.050, 0.037)
+	if ga.Name() != "counting-coord" {
+		t.Errorf("name = %s", ga.Name())
+	}
+	// Before B has run, A sees no reservation (unseeded tasks reserve 0).
+	jA := &Job{ReleaseSec: 0, DeadlineSec: 0.100, RemainingBudgetSec: 0.100,
+		Params: map[string]int64{}, Globals: map[string]int64{}}
+	ga.JobStart(jA, p.MaxLevel())
+	// Teach B's demand: 5ms per job.
+	jB := &Job{ReleaseSec: 0.037, DeadlineSec: 0.087, RemainingBudgetSec: 0.050,
+		Params: map[string]int64{}, Globals: map[string]int64{}}
+	gb.JobStart(jB, p.MaxLevel())
+	gb.JobEnd(jB, 0.005)
+	// Now A's window [0, 0.100) contains two B releases (0.037, 0.087):
+	// reserve = 2 × 5ms × 1.25 = 12.5ms.
+	probe := &probeGov{}
+	ga2 := c.Wrap(probe, 0.100, 0) // fresh coordinated wrapper sharing c
+	_ = ga2
+	gaProbe := &coordinated{c: c, me: c.tasks[0], inner: probe}
+	gaProbe.JobStart(jA, p.MaxLevel())
+	want := 0.100 - 2*0.005*1.25
+	if mathAbsG(probe.gotBudget-want) > 1e-9 {
+		t.Errorf("tightened budget = %g, want %g", probe.gotBudget, want)
+	}
+}
+
+func TestCoordinatorBudgetFloor(t *testing.T) {
+	p := plat()
+	c := NewCoordinator()
+	probe := &probeGov{}
+	a := c.Wrap(probe, 0.010, 0)
+	// A hog task with huge demand.
+	hogInner := &countingGov{plat: p}
+	hog := c.Wrap(hogInner, 0.002, 0)
+	jHog := &Job{ReleaseSec: 0, DeadlineSec: 0.002, RemainingBudgetSec: 0.002,
+		Params: map[string]int64{}, Globals: map[string]int64{}}
+	hog.JobEnd(jHog, 0.004) // seeds 4ms demand every 2ms — overload
+	j := &Job{ReleaseSec: 0, DeadlineSec: 0.010, RemainingBudgetSec: 0.010,
+		Params: map[string]int64{}, Globals: map[string]int64{}}
+	a.JobStart(j, p.MaxLevel())
+	if probe.gotBudget < 0.0025-1e-12 {
+		t.Errorf("budget collapsed below the 25%% floor: %g", probe.gotBudget)
+	}
+}
+
+type probeGov struct {
+	Base
+	gotBudget float64
+}
+
+func (*probeGov) Name() string { return "probe" }
+
+func (g *probeGov) JobStart(job *Job, cur platform.Level) Decision {
+	g.gotBudget = job.RemainingBudgetSec
+	return Decision{Target: cur, PredictedExecSec: math.NaN()}
+}
+
+func mathAbsG(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestMovingAverageColdStartAndConvergence(t *testing.T) {
+	p := plat()
+	g := &MovingAverage{Plat: p, MemFraction: 0.1}
+	d := g.JobStart(job(0.05), p.Levels[3])
+	if d.Target.Index != p.MaxLevel().Index {
+		t.Errorf("cold start level %d, want max", d.Target.Index)
+	}
+	// Steady 10ms-at-fmax jobs → settles at a low level.
+	for i := 0; i < 30; i++ {
+		d = g.JobStart(job(0.05), p.MaxLevel())
+		rho := 0.1
+		tl := 0.010 * (rho + (1-rho)*p.MaxLevel().EffFreqHz()/d.Target.EffFreqHz())
+		g.JobEnd(job(0.05), tl)
+	}
+	if d.Target.Index > 5 {
+		t.Errorf("steady load settled at level %d, want low", d.Target.Index)
+	}
+	// Window is bounded.
+	if len(g.histFmax) > 8 {
+		t.Errorf("history %d exceeds default window", len(g.histFmax))
+	}
+}
+
+func TestMovingAverageSmootherThanPID(t *testing.T) {
+	// Feed both controllers an alternating small/large series; the MA
+	// estimate must move less between consecutive decisions.
+	p := plat()
+	ma := &MovingAverage{Plat: p, MemFraction: 0.1}
+	pid := &PID{Plat: p, MemFraction: 0.1}
+	times := []float64{0.005, 0.030, 0.005, 0.030, 0.005, 0.030, 0.005, 0.030}
+	var maLevels, pidLevels []int
+	for _, tt := range times {
+		dm := ma.JobStart(job(0.05), p.MaxLevel())
+		ma.JobEnd(job(0.05), tt)
+		maLevels = append(maLevels, dm.Target.Index)
+		dp := pid.JobStart(job(0.05), p.MaxLevel())
+		pid.JobEnd(job(0.05), tt)
+		pidLevels = append(pidLevels, dp.Target.Index)
+	}
+	swing := func(ls []int) int {
+		s := 0
+		for i := 2; i < len(ls); i++ { // skip warm-up
+			d := ls[i] - ls[i-1]
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		return s
+	}
+	if swing(maLevels) > swing(pidLevels) {
+		t.Errorf("moving average swings more than PID: %v vs %v", maLevels, pidLevels)
+	}
+}

@@ -1,0 +1,67 @@
+package governor
+
+import (
+	"math"
+
+	"repro/internal/platform"
+)
+
+// Interactive models the Linux interactive governor as the paper
+// describes it (§5.1): "It samples CPU utilization every 80
+// milliseconds and changes to maximum frequency if CPU utilization is
+// above 85%." Below the hispeed threshold it scales frequency
+// proportionally toward a target load, and — like the real governor's
+// min_sample_time hysteresis — it ramps down at most one level per
+// sample, which is why the paper finds it misses few deadlines but
+// burns energy.
+type Interactive struct {
+	Base
+	Plat *platform.Platform
+	// SamplePeriodSec defaults to 80 ms when zero.
+	SamplePeriodSec float64
+	// GoHispeedLoad defaults to 0.85 when zero.
+	GoHispeedLoad float64
+	// TargetLoad defaults to 0.60 when zero (headroom keeps misses
+	// rare at the cost of energy).
+	TargetLoad float64
+}
+
+// Name implements Governor.
+func (*Interactive) Name() string { return "interactive" }
+
+// JobStart implements Governor: the interactive governor is oblivious
+// to job boundaries; the level simply stays where sampling put it.
+func (g *Interactive) JobStart(_ *Job, cur platform.Level) Decision {
+	return Decision{Target: cur, PredictedExecSec: math.NaN()}
+}
+
+// SampleInterval implements Governor.
+func (g *Interactive) SampleInterval() float64 {
+	if g.SamplePeriodSec > 0 {
+		return g.SamplePeriodSec
+	}
+	return 0.080
+}
+
+// Sample implements Governor.
+func (g *Interactive) Sample(util float64, cur platform.Level) platform.Level {
+	hispeed := g.GoHispeedLoad
+	if hispeed == 0 {
+		hispeed = 0.85
+	}
+	target := g.TargetLoad
+	if target == 0 {
+		target = 0.60
+	}
+	if util >= hispeed {
+		return g.Plat.MaxLevel()
+	}
+	// Scale so the observed load would have run at the target load:
+	// f_new = f_cur · util / target.
+	want := g.Plat.LevelAtOrAbove(cur.EffFreqHz() * util / target)
+	if want.Index < cur.Index-1 {
+		// Hysteresis: ramp down one level at a time.
+		return g.Plat.Levels[cur.Index-1]
+	}
+	return want
+}

@@ -1,0 +1,55 @@
+package governor
+
+import (
+	"math"
+
+	"repro/internal/platform"
+)
+
+// Ondemand models the classic Linux ondemand governor, the other
+// utilization-driven kernel policy of the paper's era (§6.1: "the
+// built-in Linux governors adjust DVFS based on CPU utilization"):
+// it samples load on a short period, jumps straight to the maximum
+// frequency when load exceeds up_threshold, and otherwise steps the
+// frequency down proportionally. Compared to interactive it reacts
+// faster upward (shorter period) but has no hispeed hysteresis.
+type Ondemand struct {
+	Base
+	Plat *platform.Platform
+	// SamplePeriodSec defaults to 20 ms when zero (kernel default
+	// order of magnitude for these cores).
+	SamplePeriodSec float64
+	// UpThreshold defaults to 0.80 when zero.
+	UpThreshold float64
+}
+
+// Name implements Governor.
+func (*Ondemand) Name() string { return "ondemand" }
+
+// JobStart implements Governor: like interactive, ondemand ignores job
+// boundaries.
+func (g *Ondemand) JobStart(_ *Job, cur platform.Level) Decision {
+	return Decision{Target: cur, PredictedExecSec: math.NaN()}
+}
+
+// SampleInterval implements Governor.
+func (g *Ondemand) SampleInterval() float64 {
+	if g.SamplePeriodSec > 0 {
+		return g.SamplePeriodSec
+	}
+	return 0.020
+}
+
+// Sample implements Governor.
+func (g *Ondemand) Sample(util float64, cur platform.Level) platform.Level {
+	up := g.UpThreshold
+	if up == 0 {
+		up = 0.80
+	}
+	if util >= up {
+		return g.Plat.MaxLevel()
+	}
+	// The kernel's proportional down-scaling: next freq keeps the
+	// observed load just under the threshold.
+	return g.Plat.LevelAtOrAbove(cur.EffFreqHz() * util / up)
+}

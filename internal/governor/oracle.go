@@ -1,0 +1,44 @@
+package governor
+
+import (
+	"repro/internal/dvfs"
+	"repro/internal/platform"
+)
+
+// Oracle is the perfect-prediction upper bound of §5.3: it "uses
+// recorded job times from a previous run with the same inputs to
+// predict the execution time of jobs". In this reproduction the
+// recording is the job's deterministic work, obtained through
+// Job.PeekWork without executing the job; run-to-run noise is the only
+// divergence between the recording and the measured run, exactly as on
+// the real board. The paper evaluates the oracle with predictor and
+// switch overheads removed, which the simulator's configuration
+// controls.
+type Oracle struct {
+	Base
+	Plat *platform.Platform
+	// Switch may be nil (the paper's oracle ignores switch overhead).
+	Switch *platform.SwitchTable
+	// Margin guards against run-to-run noise between the recorded run
+	// and this one; zero selects 0.12.
+	Margin float64
+}
+
+// Name implements Governor.
+func (*Oracle) Name() string { return "oracle" }
+
+// JobStart implements Governor.
+func (g *Oracle) JobStart(job *Job, cur platform.Level) Decision {
+	w := job.PeekWork()
+	margin := g.Margin
+	if margin == 0 {
+		margin = 0.12
+	}
+	tp := dvfs.TwoPoint{
+		Ndep:    w.CPU * g.Plat.CPIScale * (1 + margin),
+		TmemSec: w.MemSec * g.Plat.MemScale * (1 + margin),
+	}
+	sel := &dvfs.Selector{Plat: g.Plat, Switch: g.Switch}
+	target := sel.PickFromModel(cur, tp, job.RemainingBudgetSec)
+	return Decision{Target: target, PredictedExecSec: tp.TimeAt(target.EffFreqHz())}
+}

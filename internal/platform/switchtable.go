@@ -1,0 +1,74 @@
+package platform
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SwitchTable holds per-transition DVFS switch-time estimates, indexed
+// [from][to]. The paper microbenchmarks every (start, end) frequency
+// pair and uses the 95th-percentile times "to be conservative ...
+// while omitting rare outliers" (§3.4, Fig 11).
+type SwitchTable struct {
+	// Seconds[from][to] is the estimated switch latency.
+	Seconds [][]float64
+}
+
+// Lookup returns the estimated latency from level index `from` to `to`.
+func (t *SwitchTable) Lookup(from, to int) float64 {
+	return t.Seconds[from][to]
+}
+
+// Max returns the largest entry, a conservative bound used when the
+// destination level is not yet known.
+func (t *SwitchTable) Max() float64 {
+	m := 0.0
+	for _, row := range t.Seconds {
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// MeasureSwitchTable microbenchmarks the platform's DVFS transitions:
+// it samples every (from, to) pair `samples` times and records the
+// q-quantile (the paper uses q = 0.95). It reproduces Fig 11.
+func MeasureSwitchTable(p *Platform, samples int, q float64, seed int64) *SwitchTable {
+	rng := rand.New(rand.NewSource(seed))
+	n := p.NumLevels()
+	tbl := &SwitchTable{Seconds: make([][]float64, n)}
+	buf := make([]float64, samples)
+	for from := 0; from < n; from++ {
+		tbl.Seconds[from] = make([]float64, n)
+		for to := 0; to < n; to++ {
+			if from == to {
+				continue
+			}
+			for s := 0; s < samples; s++ {
+				buf[s] = p.SampleSwitchLatency(p.Levels[from], p.Levels[to], rng)
+			}
+			sort.Float64s(buf)
+			idx := int(q * float64(samples-1))
+			tbl.Seconds[from][to] = buf[idx]
+		}
+	}
+	return tbl
+}
+
+// MeanSwitchTable builds a table of analytic mean latencies, the
+// non-conservative alternative ablated against the 95th-percentile
+// table.
+func MeanSwitchTable(p *Platform) *SwitchTable {
+	n := p.NumLevels()
+	tbl := &SwitchTable{Seconds: make([][]float64, n)}
+	for from := 0; from < n; from++ {
+		tbl.Seconds[from] = make([]float64, n)
+		for to := 0; to < n; to++ {
+			tbl.Seconds[from][to] = p.MeanSwitchLatency(p.Levels[from], p.Levels[to])
+		}
+	}
+	return tbl
+}

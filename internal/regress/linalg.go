@@ -1,0 +1,170 @@
+// Package regress implements the execution-time prediction models of
+// paper §3.3: ordinary least squares as a baseline, and the paper's
+// asymmetric-penalty Lasso
+//
+//	min_β ‖pos(Xβ−y)‖² + α‖neg(Xβ−y)‖² + γ‖β‖₁
+//
+// solved with an accelerated proximal gradient method (FISTA) in pure
+// Go. The asymmetric weight α>1 penalizes under-prediction (which
+// causes deadline misses) harder than over-prediction (which merely
+// wastes energy); the L1 term drives coefficients of unhelpful
+// control-flow features to exactly zero so the program slicer can drop
+// their computation.
+package regress
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("regress: empty matrix")
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("regress: ragged rows: row %d has %d cols, want %d", i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared storage).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// MulVec computes dst = M·x. dst must have length Rows.
+func (m *Matrix) MulVec(x, dst []float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// TMulVec computes dst = Mᵀ·x. dst must have length Cols.
+func (m *Matrix) TMulVec(x, dst []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			dst[j] += v * xi
+		}
+	}
+}
+
+// specNorm2 estimates σmax(M)² (the largest eigenvalue of MᵀM) with
+// power iteration; it upper-bounds the Lipschitz constant of the
+// smooth loss term.
+func specNorm2(m *Matrix, iters int) float64 {
+	v := make([]float64, m.Cols)
+	for j := range v {
+		v[j] = 1 / math.Sqrt(float64(m.Cols))
+	}
+	mv := make([]float64, m.Rows)
+	mtv := make([]float64, m.Cols)
+	lambda := 0.0
+	for k := 0; k < iters; k++ {
+		m.MulVec(v, mv)
+		m.TMulVec(mv, mtv)
+		norm := 0.0
+		for _, x := range mtv {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return 0
+		}
+		for j := range v {
+			v[j] = mtv[j] / norm
+		}
+		lambda = norm
+	}
+	return lambda
+}
+
+// solveSPD solves A·x = b for symmetric positive-definite A using
+// Cholesky decomposition; A is modified in place. Used by the OLS
+// baseline via normal equations (with a small ridge for stability).
+func solveSPD(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("regress: solveSPD shape mismatch")
+	}
+	// Cholesky: A = L·Lᵀ, stored in the lower triangle.
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= a.At(j, k) * a.At(j, k)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("regress: matrix not positive definite at pivot %d", j)
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s/d)
+		}
+	}
+	// Forward solve L·z = b.
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a.At(i, k) * z[k]
+		}
+		z[i] = s / a.At(i, i)
+	}
+	// Back solve Lᵀ·x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := z[i]
+		for k := i + 1; k < n; k++ {
+			s -= a.At(k, i) * x[k]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}

@@ -1,0 +1,546 @@
+// Package sim executes a workload under a DVFS governor on a modeled
+// platform and accounts time, energy, and deadline misses — the role
+// the instrumented ODROID-XU3 board plays in the paper's evaluation
+// (§5.1).
+//
+// Jobs are released periodically (period = time budget, as for a game
+// or decoder frame loop). For each job the governor makes a job-start
+// decision (possibly paying predictor time and a DVFS switch), the job
+// then executes under the classical time-scaling model, and
+// load-driven governors additionally re-evaluate on a fixed sampling
+// interval — including in the middle of a job, stalling it through any
+// resulting transition, exactly as a kernel governor interrupts a
+// running task. Energy integrates active, switching, and idle power
+// over the whole run, mirroring the board's power-sensor measurement.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/taskir"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Plat is the hardware model; nil selects ODROIDXU3A7.
+	Plat *platform.Platform
+	// BudgetSec is the per-job response-time requirement. Zero selects
+	// the workload's paper default (50 ms; 4 s for pocketsphinx).
+	BudgetSec float64
+	// PeriodSec is the job release period; zero means BudgetSec.
+	PeriodSec float64
+	// Jobs is the number of jobs; zero selects the workload default.
+	Jobs int
+	// Seed drives all stochastic elements (switch jitter, work noise)
+	// and the workload input generator.
+	Seed int64
+	// NoiseSigma is the lognormal sigma of run-to-run execution noise
+	// (cache and scheduling effects the features cannot see); zero
+	// selects 0.05, negative disables noise.
+	NoiseSigma float64
+	// IdleBetweenJobs drops to the minimum level between jobs (§5.5).
+	IdleBetweenJobs bool
+	// DisableSwitchLatency makes DVFS transitions free (Fig 18's
+	// "w/o dvfs" analysis).
+	DisableSwitchLatency bool
+	// DisablePredictorCost makes governor decisions free (Fig 18's
+	// "w/o predictor+dvfs" analysis).
+	DisablePredictorCost bool
+	// SensorRateHz enables power-sensor emulation; zero selects the
+	// board's 213 Hz.
+	SensorRateHz float64
+	// Placement selects how the predictor runs relative to the job
+	// (§4.3, Fig 14): Sequential (default), Pipelined, or Parallel.
+	Placement Placement
+}
+
+// Placement is the predictor scheduling mode of §4.3.
+type Placement int
+
+// Predictor placement modes.
+const (
+	// Sequential runs the predictor at job start, consuming budget —
+	// the paper's choice, since measured predictor times are low.
+	Sequential Placement = iota
+	// Pipelined runs job i+1's predictor during job i (Fig 14), so
+	// the decision is ready at the next release with no budget
+	// impact; the concurrent predictor draws helper-core power.
+	// Requires the workload's inputs to be known one job ahead
+	// (Workload.InputsKnownAhead); otherwise it degrades to
+	// Sequential, exactly as the paper notes for interactive tasks.
+	Pipelined
+	// Parallel starts the job at the current level while the
+	// predictor runs concurrently (on a helper core); the DVFS switch
+	// happens when the prediction arrives. No budget is consumed, but
+	// the start of the job runs at the stale level and the helper
+	// core draws power.
+	Parallel
+)
+
+func (c Config) withDefaults(w *workload.Workload) Config {
+	if c.Plat == nil {
+		c.Plat = platform.ODROIDXU3A7()
+	}
+	if c.BudgetSec == 0 {
+		c.BudgetSec = w.DefaultBudgetSec
+	}
+	if c.PeriodSec == 0 {
+		c.PeriodSec = c.BudgetSec
+	}
+	if c.Jobs == 0 {
+		c.Jobs = w.EvalJobs
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 0.05
+	}
+	if c.NoiseSigma < 0 {
+		c.NoiseSigma = 0
+	}
+	if c.SensorRateHz == 0 {
+		c.SensorRateHz = platform.SensorRateHz
+	}
+	return c
+}
+
+// JobRecord is the per-job outcome.
+type JobRecord struct {
+	Index                        int
+	ReleaseSec, StartSec, EndSec float64
+	DeadlineSec                  float64
+	Missed                       bool
+	// LevelIdx is the level selected at job start.
+	LevelIdx int
+	// PredictorSec, SwitchSec, ExecSec decompose the job's wall time.
+	// SwitchSec includes mid-job transitions forced by sampling
+	// governors; ExecSec is pure execution at speed.
+	PredictorSec, SwitchSec, ExecSec float64
+	// PredictedExecSec is the governor's expectation for ExecSec
+	// (NaN for governors that do not predict).
+	PredictedExecSec float64
+}
+
+// Result aggregates a run.
+type Result struct {
+	Workload  string
+	Governor  string
+	BudgetSec float64
+	Records   []JobRecord
+	// EnergyJ is exactly integrated energy; SensorEnergyJ is the 213 Hz
+	// sensor's estimate of the same quantity.
+	EnergyJ, SensorEnergyJ float64
+	// Breakdown attributes the energy to activities.
+	Breakdown   EnergyBreakdown
+	DurationSec float64
+	Misses      int
+}
+
+// EnergyBreakdown attributes a run's energy to activities [J].
+type EnergyBreakdown struct {
+	// ExecJ is energy spent executing jobs.
+	ExecJ float64
+	// PredictorJ is energy spent running prediction slices (including
+	// helper-core energy under overlapped placements).
+	PredictorJ float64
+	// SwitchJ is energy spent in DVFS transitions.
+	SwitchJ float64
+	// IdleJ is energy spent between jobs.
+	IdleJ float64
+}
+
+// Total sums the breakdown.
+func (b EnergyBreakdown) Total() float64 {
+	return b.ExecJ + b.PredictorJ + b.SwitchJ + b.IdleJ
+}
+
+// MissRate returns the fraction of jobs that missed their deadline.
+func (r *Result) MissRate() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(len(r.Records))
+}
+
+// ExecTimes returns each job's execution time in seconds.
+func (r *Result) ExecTimes() []float64 {
+	out := make([]float64, len(r.Records))
+	for i, rec := range r.Records {
+		out[i] = rec.ExecSec
+	}
+	return out
+}
+
+// MeanPredictorSec returns the average per-job predictor overhead.
+func (r *Result) MeanPredictorSec() float64 {
+	s := 0.0
+	for _, rec := range r.Records {
+		s += rec.PredictorSec
+	}
+	return s / float64(len(r.Records))
+}
+
+// MeanSwitchSec returns the average per-job DVFS switching time.
+func (r *Result) MeanSwitchSec() float64 {
+	s := 0.0
+	for _, rec := range r.Records {
+		s += rec.SwitchSec
+	}
+	return s / float64(len(r.Records))
+}
+
+const timeEps = 1e-12
+
+// simState carries the running timeline.
+type simState struct {
+	cfg   Config
+	gov   governor.Governor
+	rng   *rand.Rand
+	meter *platform.EnergyMeter
+
+	now float64
+	cur platform.Level
+
+	// Utilization sampling.
+	interval   float64
+	nextSample float64
+	busyAcc    float64
+
+	// pending is a level change requested by a sample, applied at the
+	// next drainPending call.
+	pending *platform.Level
+
+	// switchSecAcc accumulates transition time since last reset, so
+	// job records can attribute mid-job switches.
+	switchSecAcc float64
+
+	// extraJoules accrues energy drawn off the main timeline (the
+	// parallel placement's helper core).
+	extraJoules float64
+
+	// account points at the Breakdown field the current segment's
+	// energy belongs to.
+	account *float64
+	brk     EnergyBreakdown
+}
+
+// boundary returns time until the next sampling instant (+Inf when the
+// governor does not sample).
+func (st *simState) boundary() float64 {
+	if st.interval <= 0 {
+		return math.Inf(1)
+	}
+	return st.nextSample - st.now
+}
+
+// segment advances time by dur at constant power. dur must not cross a
+// sampling boundary by more than epsilon; callers clamp with boundary().
+func (st *simState) segment(dur, watts float64, busy bool) {
+	if dur <= 0 {
+		return
+	}
+	st.meter.AddSegment(dur, watts)
+	if st.account != nil {
+		*st.account += dur * watts
+	}
+	st.now += dur
+	if busy {
+		st.busyAcc += dur
+	}
+	if st.interval > 0 && st.now >= st.nextSample-timeEps {
+		util := st.busyAcc / st.interval
+		if util > 1 {
+			util = 1
+		}
+		st.busyAcc = 0
+		st.nextSample += st.interval
+		want := st.gov.Sample(util, st.cur)
+		if want.Index != st.cur.Index {
+			w := want
+			st.pending = &w
+		}
+	}
+}
+
+// doSwitch transitions to target, paying latency and energy, and
+// returns the latency spent.
+func (st *simState) doSwitch(target platform.Level) float64 {
+	if target.Index == st.cur.Index {
+		return 0
+	}
+	var lat float64
+	if !st.cfg.DisableSwitchLatency {
+		lat = st.cfg.Plat.SampleSwitchLatency(st.cur, target, st.rng)
+	}
+	pw := st.cfg.Plat.SwitchPower(st.cur, target)
+	prev := st.account
+	st.account = &st.brk.SwitchJ
+	remaining := lat
+	for remaining > timeEps {
+		dt := math.Min(remaining, st.boundary())
+		st.segment(dt, pw, true)
+		remaining -= dt
+	}
+	st.account = prev
+	st.cur = target
+	st.switchSecAcc += lat
+	return lat
+}
+
+// drainPending applies sample-requested transitions (bounded, since a
+// transition can itself cross a sampling instant).
+func (st *simState) drainPending() {
+	for i := 0; i < 4 && st.pending != nil; i++ {
+		t := *st.pending
+		st.pending = nil
+		st.doSwitch(t)
+	}
+	st.pending = nil
+}
+
+// busyRun spends dur busy at constant power (predictor execution),
+// splitting at sampling boundaries.
+func (st *simState) busyRun(dur, watts float64) {
+	prev := st.account
+	st.account = &st.brk.PredictorJ
+	remaining := dur
+	for remaining > timeEps {
+		dt := math.Min(remaining, st.boundary())
+		st.segment(dt, watts, true)
+		remaining -= dt
+	}
+	st.account = prev
+	st.drainPending()
+}
+
+// idleUntil idles (at the current level's idle power) until time t,
+// honoring sampling governors' level changes along the way.
+func (st *simState) idleUntil(t float64) {
+	prev := st.account
+	st.account = &st.brk.IdleJ
+	for st.now < t-timeEps {
+		dt := math.Min(t-st.now, st.boundary())
+		st.segment(dt, st.cfg.Plat.IdlePower(st.cur), false)
+		// A sampling switch during idle belongs to the switch account;
+		// drainPending manages that itself.
+		st.account = nil
+		st.drainPending()
+		st.account = &st.brk.IdleJ
+	}
+	st.account = prev
+}
+
+// execJobFor drains a job's remaining work for at most dur seconds at
+// the prevailing levels, handling mid-job sampling transitions (which
+// stall the job). It returns the execution time actually spent, which
+// is less than dur when the job completes early.
+func (st *simState) execJobFor(cpuWork, memSec *float64, dur float64) float64 {
+	prev := st.account
+	defer func() { st.account = prev }()
+	exec := 0.0
+	for dur-exec > timeEps && (*cpuWork > 0 || *memSec > timeEps) {
+		tNeed := st.cfg.Plat.JobTimeAt(*cpuWork, *memSec, st.cur)
+		if tNeed <= timeEps {
+			break
+		}
+		dt := math.Min(math.Min(tNeed, st.boundary()), dur-exec)
+		st.account = &st.brk.ExecJ
+		st.segment(dt, st.cfg.Plat.ActivePower(st.cur), true)
+		st.account = prev
+		exec += dt
+		frac := dt / tNeed
+		if frac >= 1 {
+			*cpuWork, *memSec = 0, 0
+		} else {
+			*cpuWork *= 1 - frac
+			*memSec *= 1 - frac
+		}
+		st.drainPending()
+	}
+	return exec
+}
+
+// execJob runs a job's work to completion and returns the pure
+// execution time (transition stalls excluded).
+func (st *simState) execJob(cpuWork, memSec float64) float64 {
+	return st.execJobFor(&cpuWork, &memSec, math.Inf(1))
+}
+
+// Run simulates the workload under the governor.
+func Run(w *workload.Workload, gov governor.Governor, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults(w)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := w.NewGen(cfg.Seed + 1)
+	globals := w.FreshGlobals()
+
+	st := &simState{
+		cfg:      cfg,
+		gov:      gov,
+		rng:      rng,
+		meter:    platform.NewEnergyMeter(cfg.SensorRateHz),
+		cur:      cfg.Plat.MaxLevel(),
+		interval: gov.SampleInterval(),
+	}
+	st.nextSample = st.interval
+
+	res := &Result{
+		Workload:  w.Name,
+		Governor:  gov.Name(),
+		BudgetSec: cfg.BudgetSec,
+		Records:   make([]JobRecord, 0, cfg.Jobs),
+	}
+
+	// paramsFor memoizes inputs so pipelined prediction can look one
+	// job ahead without double-advancing the generator.
+	paramsCache := map[int]map[string]int64{}
+	paramsFor := func(i int) map[string]int64 {
+		if p, ok := paramsCache[i]; ok {
+			return p
+		}
+		p := gen.Next(i)
+		paramsCache[i] = p
+		return p
+	}
+	makeJob := func(i int, startSec float64) *governor.Job {
+		release := float64(i) * cfg.PeriodSec
+		deadline := release + cfg.BudgetSec
+		params := paramsFor(i)
+		return &governor.Job{
+			Index:              i,
+			Params:             params,
+			Globals:            globals,
+			ReleaseSec:         release,
+			DeadlineSec:        deadline,
+			RemainingBudgetSec: deadline - startSec,
+			PeekWork: func() taskir.Work {
+				env := taskir.NewEnv(globals)
+				env.Freeze()
+				env.SetParams(params)
+				pw, err := taskir.Run(w.Prog, env, taskir.RunOptions{})
+				if err != nil {
+					return taskir.Work{}
+				}
+				return pw
+			},
+		}
+	}
+
+	pipelined := cfg.Placement == Pipelined && w.InputsKnownAhead
+	var prepared *governor.Decision
+	preparedFor := -1
+
+	for i := 0; i < cfg.Jobs; i++ {
+		release := float64(i) * cfg.PeriodSec
+		if st.now < release {
+			st.idleUntil(release)
+		}
+		start := st.now
+		deadline := release + cfg.BudgetSec
+		params := paramsFor(i)
+		job := makeJob(i, start)
+
+		st.switchSecAcc = 0
+		var dec governor.Decision
+		predictorSec := 0.0
+		switch {
+		case pipelined && preparedFor == i:
+			// The decision was computed during the previous idle gap;
+			// no budget is consumed now.
+			dec = *prepared
+		default:
+			dec = gov.JobStart(job, st.cur)
+			predictorSec = dec.PredictorSec
+			if cfg.DisablePredictorCost {
+				predictorSec = 0
+			}
+		}
+		prepared, preparedFor = nil, -1
+
+		// Execute the job for real (this advances the program state).
+		env := taskir.NewEnv(globals)
+		env.SetParams(params)
+		wk, err := taskir.Run(w.Prog, env, taskir.RunOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s job %d: %w", w.Name, i, err)
+		}
+		noise := 1.0
+		if cfg.NoiseSigma > 0 {
+			n := cfg.NoiseSigma * rng.NormFloat64()
+			lim := 3 * cfg.NoiseSigma
+			if n > lim {
+				n = lim
+			}
+			if n < -lim {
+				n = -lim
+			}
+			noise = math.Exp(n)
+		}
+		cpu := wk.CPU * cfg.Plat.CPIScale * noise
+		mem := wk.MemSec * cfg.Plat.MemScale * noise
+
+		execSec := 0.0
+		if cfg.Placement == Parallel && predictorSec > 0 {
+			// The job starts immediately at the stale level while the
+			// predictor runs on a helper core.
+			execSec += st.execJobFor(&cpu, &mem, predictorSec)
+			st.extraJoules += predictorSec * cfg.Plat.HelperPower()
+			st.brk.PredictorJ += predictorSec * cfg.Plat.HelperPower()
+		} else if predictorSec > 0 {
+			st.busyRun(predictorSec, cfg.Plat.ActivePower(st.cur))
+		}
+		if (cpu > 0 || mem > timeEps) && dec.Target.Index != st.cur.Index {
+			st.doSwitch(dec.Target)
+		}
+		st.drainPending()
+		execSec += st.execJob(cpu, mem)
+
+		end := st.now
+		missed := end > deadline+timeEps
+		if missed {
+			res.Misses++
+		}
+		res.Records = append(res.Records, JobRecord{
+			Index:            i,
+			ReleaseSec:       release,
+			StartSec:         start,
+			EndSec:           end,
+			DeadlineSec:      deadline,
+			Missed:           missed,
+			LevelIdx:         dec.Target.Index,
+			PredictorSec:     predictorSec,
+			SwitchSec:        st.switchSecAcc,
+			ExecSec:          execSec,
+			PredictedExecSec: dec.PredictedExecSec,
+		})
+		gov.JobEnd(job, execSec)
+
+		// Pipelined placement: job i+1's predictor ran concurrently
+		// with job i (helper core), so its decision is ready at the
+		// next release with no timeline impact, only helper energy.
+		if pipelined && i+1 < cfg.Jobs {
+			next := makeJob(i+1, float64(i+1)*cfg.PeriodSec)
+			d := gov.JobStart(next, st.cur)
+			if !cfg.DisablePredictorCost && d.PredictorSec > 0 {
+				st.extraJoules += d.PredictorSec * cfg.Plat.HelperPower()
+				st.brk.PredictorJ += d.PredictorSec * cfg.Plat.HelperPower()
+			}
+			prepared, preparedFor = &d, i+1
+		}
+
+		if cfg.IdleBetweenJobs && st.cur.Index != cfg.Plat.MinLevel().Index {
+			st.doSwitch(cfg.Plat.MinLevel())
+		}
+	}
+	// Drain the final period so every governor is charged the same
+	// wall-clock horizon.
+	st.idleUntil(float64(cfg.Jobs) * cfg.PeriodSec)
+
+	res.EnergyJ = st.meter.EnergyJoules() + st.extraJoules
+	res.SensorEnergyJ = st.meter.SensorEnergyJoules() + st.extraJoules
+	res.Breakdown = st.brk
+	res.DurationSec = st.meter.ElapsedSec()
+	return res, nil
+}

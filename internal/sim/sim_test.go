@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func run(t *testing.T, w *workload.Workload, gov governor.Governor, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(w, gov, cfg)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", w.Name, gov.Name(), err)
+	}
+	return r
+}
+
+func TestPerformanceGovernorBaseline(t *testing.T) {
+	w := workload.LDecode()
+	p := platform.ODROIDXU3A7()
+	r := run(t, w, &governor.Performance{Plat: p}, Config{Seed: 1, Jobs: 120})
+	if r.Misses != 0 {
+		t.Errorf("performance governor missed %d deadlines with 50ms budget", r.Misses)
+	}
+	for _, rec := range r.Records {
+		if rec.LevelIdx != p.NumLevels()-1 {
+			t.Fatalf("job %d ran at level %d, want max", rec.Index, rec.LevelIdx)
+		}
+		if rec.PredictorSec != 0 {
+			t.Fatalf("performance governor has predictor overhead")
+		}
+	}
+	// Jobs average ~20ms at fmax.
+	mean := 0.0
+	for _, e := range r.ExecTimes() {
+		mean += e
+	}
+	mean /= float64(len(r.Records))
+	if mean < 0.015 || mean > 0.026 {
+		t.Errorf("mean exec %.4f s out of expected ldecode range", mean)
+	}
+}
+
+func TestPowersaveMissesTightDeadlines(t *testing.T) {
+	w := workload.LDecode()
+	p := platform.ODROIDXU3A7()
+	r := run(t, w, &governor.Powersave{Plat: p}, Config{Seed: 1, Jobs: 120})
+	// ldecode at 200 MHz takes ~7x longer: nearly every job misses 50ms.
+	if r.MissRate() < 0.5 {
+		t.Errorf("powersave miss rate %.2f, want ≥ 0.5", r.MissRate())
+	}
+	// But it must consume less energy than performance.
+	perf := run(t, w, &governor.Performance{Plat: p}, Config{Seed: 1, Jobs: 120})
+	if r.EnergyJ >= perf.EnergyJ {
+		t.Errorf("powersave energy %.3g ≥ performance %.3g", r.EnergyJ, perf.EnergyJ)
+	}
+}
+
+func TestPredictionGovernorEndToEnd(t *testing.T) {
+	w := workload.LDecode()
+	p := platform.ODROIDXU3A7()
+	ctrl, err := core.Build(w, core.Config{Plat: p, ProfileSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 7, Jobs: 200}
+	pred := run(t, w, ctrl, cfg)
+	perf := run(t, w, &governor.Performance{Plat: p}, cfg)
+
+	if pred.MissRate() > 0.01 {
+		t.Errorf("prediction miss rate %.3f, want ≈ 0", pred.MissRate())
+	}
+	saving := 1 - pred.EnergyJ/perf.EnergyJ
+	t.Logf("ldecode: prediction saves %.1f%% energy vs performance (misses %.2f%%)",
+		saving*100, pred.MissRate()*100)
+	if saving < 0.25 {
+		t.Errorf("energy saving %.2f too small — controller not exploiting slack", saving)
+	}
+	// Predictor overhead is charged.
+	if pred.MeanPredictorSec() <= 0 {
+		t.Error("no predictor overhead recorded")
+	}
+	// Prediction errors are recorded and mostly over-predictions.
+	over, under := 0, 0
+	for _, rec := range pred.Records {
+		if math.IsNaN(rec.PredictedExecSec) {
+			continue
+		}
+		if rec.PredictedExecSec >= rec.ExecSec {
+			over++
+		} else {
+			under++
+		}
+	}
+	if over <= under*2 {
+		t.Errorf("prediction errors not skewed to over-prediction: %d over, %d under", over, under)
+	}
+}
+
+func TestPIDGovernorLagsVariation(t *testing.T) {
+	w := workload.LDecode()
+	p := platform.ODROIDXU3A7()
+	ctrl, err := core.Build(w, core.Config{Plat: p, ProfileSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := platform.MeasureSwitchTable(p, 300, 0.95, 3)
+	pid := &governor.PID{Plat: p, Switch: tbl, MemFraction: ctrl.MemFraction()}
+	cfg := Config{Seed: 7, Jobs: 200}
+	rPid := run(t, w, pid, cfg)
+	rPred := run(t, w, ctrl, cfg)
+	perf := run(t, w, &governor.Performance{Plat: p}, cfg)
+
+	if rPid.EnergyJ >= perf.EnergyJ {
+		t.Errorf("PID energy %.3g not below performance %.3g", rPid.EnergyJ, perf.EnergyJ)
+	}
+	// The reactive controller misses more deadlines than the
+	// predictive one (the paper's central claim).
+	if rPid.Misses <= rPred.Misses {
+		t.Errorf("PID misses (%d) not above prediction misses (%d)", rPid.Misses, rPred.Misses)
+	}
+	if rPid.MissRate() < 0.02 {
+		t.Errorf("PID miss rate %.3f suspiciously low for ldecode's variation", rPid.MissRate())
+	}
+}
+
+func TestInteractiveGovernor(t *testing.T) {
+	w := workload.LDecode()
+	p := platform.ODROIDXU3A7()
+	cfg := Config{Seed: 7, Jobs: 200}
+	inter := run(t, w, &governor.Interactive{Plat: p}, cfg)
+	perf := run(t, w, &governor.Performance{Plat: p}, cfg)
+	if inter.EnergyJ >= perf.EnergyJ {
+		t.Errorf("interactive energy %.3g not below performance %.3g", inter.EnergyJ, perf.EnergyJ)
+	}
+	// It adjusts levels (samples fire mid-run).
+	levels := map[int]bool{}
+	for _, rec := range inter.Records {
+		levels[rec.LevelIdx] = true
+	}
+	if len(levels) < 2 {
+		t.Errorf("interactive governor never changed level")
+	}
+}
+
+func TestOracleGovernor(t *testing.T) {
+	w := workload.LDecode()
+	p := platform.ODROIDXU3A7()
+	ctrl, err := core.Build(w, core.Config{Plat: p, ProfileSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle runs with overheads removed, as in Fig 18.
+	cfg := Config{Seed: 7, Jobs: 200, DisableSwitchLatency: true, DisablePredictorCost: true}
+	oracle := run(t, w, &governor.Oracle{Plat: p}, cfg)
+	pred := run(t, w, ctrl, cfg)
+	if oracle.EnergyJ >= pred.EnergyJ {
+		t.Errorf("oracle energy %.4g not below prediction %.4g", oracle.EnergyJ, pred.EnergyJ)
+	}
+	if oracle.MissRate() > 0.02 {
+		t.Errorf("oracle miss rate %.3f", oracle.MissRate())
+	}
+}
+
+func TestIdlingSavesEnergy(t *testing.T) {
+	w := workload.LDecode()
+	p := platform.ODROIDXU3A7()
+	base := Config{Seed: 7, Jobs: 150}
+	idle := Config{Seed: 7, Jobs: 150, IdleBetweenJobs: true}
+	for _, g := range []governor.Governor{
+		&governor.Performance{Plat: p},
+	} {
+		r0 := run(t, w, g, base)
+		r1 := run(t, w, g, idle)
+		if r1.EnergyJ >= r0.EnergyJ {
+			t.Errorf("%s: idling energy %.3g not below %.3g", g.Name(), r1.EnergyJ, r0.EnergyJ)
+		}
+		// Idling must not change deadline behavior.
+		if r1.Misses != r0.Misses {
+			t.Errorf("%s: idling changed misses %d → %d", g.Name(), r0.Misses, r1.Misses)
+		}
+	}
+}
+
+func TestQueueingUnderTightBudget(t *testing.T) {
+	// With a budget below the max job time, even performance misses
+	// some deadlines, and releases queue up rather than overlap.
+	w := workload.LDecode()
+	p := platform.ODROIDXU3A7()
+	r := run(t, w, &governor.Performance{Plat: p}, Config{Seed: 3, Jobs: 150, BudgetSec: 0.020})
+	if r.Misses == 0 {
+		t.Errorf("no misses with 20ms budget; max job time should exceed it")
+	}
+	for i := 1; i < len(r.Records); i++ {
+		if r.Records[i].StartSec < r.Records[i-1].EndSec-1e-9 {
+			t.Fatalf("job %d started before job %d ended", i, i-1)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w := workload.XPilot()
+	p := platform.ODROIDXU3A7()
+	a := run(t, w, &governor.Interactive{Plat: p}, Config{Seed: 11, Jobs: 100})
+	b := run(t, w, &governor.Interactive{Plat: p}, Config{Seed: 11, Jobs: 100})
+	if a.EnergyJ != b.EnergyJ || a.Misses != b.Misses {
+		t.Errorf("same seed, different results: %g/%d vs %g/%d",
+			a.EnergyJ, a.Misses, b.EnergyJ, b.Misses)
+	}
+}
+
+func TestSensorEnergyTracksExact(t *testing.T) {
+	w := workload.LDecode()
+	p := platform.ODROIDXU3A7()
+	r := run(t, w, &governor.Performance{Plat: p}, Config{Seed: 5, Jobs: 150})
+	if math.Abs(r.SensorEnergyJ-r.EnergyJ)/r.EnergyJ > 0.02 {
+		t.Errorf("sensor energy %.4g deviates from exact %.4g", r.SensorEnergyJ, r.EnergyJ)
+	}
+}
+
+func TestDisableSwitchLatency(t *testing.T) {
+	w := workload.LDecode()
+	p := platform.ODROIDXU3A7()
+	ctrl, err := core.Build(w, core.Config{Plat: p, ProfileSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := run(t, w, ctrl, Config{Seed: 7, Jobs: 150})
+	without := run(t, w, ctrl, Config{Seed: 7, Jobs: 150, DisableSwitchLatency: true})
+	if without.MeanSwitchSec() != 0 {
+		t.Errorf("switch time recorded despite DisableSwitchLatency")
+	}
+	if without.EnergyJ >= with.EnergyJ {
+		t.Errorf("removing switch overhead did not reduce energy: %.4g vs %.4g",
+			without.EnergyJ, with.EnergyJ)
+	}
+}
+
+func TestOndemandGovernorEndToEnd(t *testing.T) {
+	w := workload.LDecode()
+	p := platform.ODROIDXU3A7()
+	cfg := Config{Seed: 7, Jobs: 200}
+	od := run(t, w, &governor.Ondemand{Plat: p}, cfg)
+	perf := run(t, w, &governor.Performance{Plat: p}, cfg)
+	if od.EnergyJ >= perf.EnergyJ {
+		t.Errorf("ondemand energy %.3g not below performance %.3g", od.EnergyJ, perf.EnergyJ)
+	}
+	// Without hysteresis it misses more than interactive but stays
+	// usable (it reacts on a 20ms period).
+	inter := run(t, w, &governor.Interactive{Plat: p}, cfg)
+	if od.MissRate() > 0.25 {
+		t.Errorf("ondemand miss rate %.3f implausibly high", od.MissRate())
+	}
+	t.Logf("ondemand: energy %.3g (interactive %.3g), misses %.1f%% (interactive %.1f%%)",
+		od.EnergyJ, inter.EnergyJ, 100*od.MissRate(), 100*inter.MissRate())
+}
+
+func TestEnergyBreakdownAccountsEverything(t *testing.T) {
+	w := workload.LDecode()
+	p := platform.ODROIDXU3A7()
+	ctrl, err := core.Build(w, core.Config{Plat: p, ProfileSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := run(t, w, ctrl, Config{Seed: 7, Jobs: 150})
+	b := r.Breakdown
+	if diff := math.Abs(b.Total() - r.EnergyJ); diff > 1e-9*r.EnergyJ+1e-12 {
+		t.Errorf("breakdown total %.6g != energy %.6g", b.Total(), r.EnergyJ)
+	}
+	for name, v := range map[string]float64{
+		"exec": b.ExecJ, "predictor": b.PredictorJ, "switch": b.SwitchJ, "idle": b.IdleJ,
+	} {
+		if v <= 0 {
+			t.Errorf("%s energy = %g, want > 0", name, v)
+		}
+	}
+	// Execution dominates for a 40%-utilized decoder.
+	if b.ExecJ < b.IdleJ {
+		t.Errorf("exec %.4g below idle %.4g for ldecode", b.ExecJ, b.IdleJ)
+	}
+	// Idling between jobs shifts energy out of the idle account.
+	ri := run(t, w, ctrl, Config{Seed: 7, Jobs: 150, IdleBetweenJobs: true})
+	if ri.Breakdown.IdleJ >= b.IdleJ {
+		t.Errorf("idling did not reduce idle energy: %.4g vs %.4g", ri.Breakdown.IdleJ, b.IdleJ)
+	}
+}
+
+// utilProbe records every utilization sample the simulator delivers.
+type utilProbe struct {
+	governor.Base
+	plat  *platform.Platform
+	utils []float64
+}
+
+func (*utilProbe) Name() string { return "util-probe" }
+
+func (g *utilProbe) JobStart(_ *governor.Job, cur platform.Level) governor.Decision {
+	return governor.Decision{Target: cur, PredictedExecSec: math.NaN()}
+}
+
+func (g *utilProbe) SampleInterval() float64 { return 0.080 }
+
+func (g *utilProbe) Sample(util float64, cur platform.Level) platform.Level {
+	g.utils = append(g.utils, util)
+	return cur
+}
+
+// The sampling machinery must report utilization equal to the busy
+// fraction of each 80 ms window.
+func TestUtilizationSampling(t *testing.T) {
+	w := workload.LDecode()
+	p := platform.ODROIDXU3A7()
+	probe := &utilProbe{plat: p}
+	r := run(t, w, probe, Config{Plat: p, Seed: 2, Jobs: 125, NoiseSigma: -1})
+	if len(probe.utils) < 70 {
+		t.Fatalf("samples = %d, want ~78 over 6.25s", len(probe.utils))
+	}
+	// Total busy time from the job records must equal the utilization
+	// integral over the sampled windows (within the unsampled tail).
+	busy := 0.0
+	for _, rec := range r.Records {
+		busy += rec.ExecSec + rec.PredictorSec + rec.SwitchSec
+	}
+	sampled := 0.0
+	for _, u := range probe.utils {
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization %g out of [0,1]", u)
+		}
+		sampled += u * 0.080
+	}
+	if math.Abs(sampled-busy) > 0.080+busy*0.02 {
+		t.Errorf("sampled busy time %.3fs vs actual %.3fs", sampled, busy)
+	}
+	// ldecode at max frequency: ~21ms busy per 50ms → mean util ≈ 0.42.
+	mean := sampled / (0.080 * float64(len(probe.utils)))
+	if mean < 0.3 || mean > 0.55 {
+		t.Errorf("mean utilization %.2f outside the expected band", mean)
+	}
+}

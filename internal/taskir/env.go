@@ -1,0 +1,114 @@
+package taskir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Env is a job execution environment: the variable store visible to a
+// program body. It layers per-job locals (params and temporaries) over
+// persistent globals, so that global writes survive across jobs while
+// locals are discarded.
+type Env struct {
+	globals map[string]int64
+	locals  map[string]int64
+	// isGlobal marks which names resolve to the global layer.
+	isGlobal map[string]bool
+	// frozen, when set, redirects global writes into the local layer
+	// (copy-on-write). This implements the paper's side-effect
+	// isolation for prediction slices (§3.2): the slice takes local
+	// copies of any globals it writes.
+	frozen bool
+}
+
+// NewEnv creates an environment whose global layer holds the program's
+// persistent state. The caller owns globals; Env mutates it in place
+// on global writes (unless frozen).
+func NewEnv(globals map[string]int64) *Env {
+	isG := make(map[string]bool, len(globals))
+	for k := range globals {
+		isG[k] = true
+	}
+	return &Env{
+		globals:  globals,
+		locals:   map[string]int64{},
+		isGlobal: isG,
+	}
+}
+
+// Freeze makes all subsequent global writes copy-on-write: they land
+// in the local layer and the shared global map is never mutated. Reads
+// see the local copy once written. This is how a prediction slice runs
+// without side effects.
+func (e *Env) Freeze() { e.frozen = true }
+
+// Frozen reports whether the environment isolates global writes.
+func (e *Env) Frozen() bool { return e.frozen }
+
+// Get returns the value of name, preferring the local layer. Unset
+// variables read as zero (the interpreter's Validate pass catches
+// genuinely undefined reads in task programs).
+func (e *Env) Get(name string) int64 {
+	if v, ok := e.locals[name]; ok {
+		return v
+	}
+	if v, ok := e.globals[name]; ok {
+		return v
+	}
+	return 0
+}
+
+// Set assigns name. Global names write through to the global layer
+// unless the environment is frozen; all other names are job-locals.
+func (e *Env) Set(name string, v int64) {
+	if e.isGlobal[name] && !e.frozen {
+		e.globals[name] = v
+		return
+	}
+	e.locals[name] = v
+}
+
+// SetParams installs per-job input values as locals.
+func (e *Env) SetParams(params map[string]int64) {
+	for k, v := range params {
+		e.locals[k] = v
+	}
+}
+
+// ResetLocals clears the local layer for the next job while keeping
+// globals intact.
+func (e *Env) ResetLocals() {
+	e.locals = map[string]int64{}
+}
+
+// GlobalsSnapshot returns a copy of the global layer, for tests that
+// verify slice side-effect isolation.
+func (e *Env) GlobalsSnapshot() map[string]int64 {
+	snap := make(map[string]int64, len(e.globals))
+	for k, v := range e.globals {
+		snap[k] = v
+	}
+	return snap
+}
+
+// String renders the environment deterministically for debugging.
+func (e *Env) String() string {
+	keys := make([]string, 0, len(e.globals)+len(e.locals))
+	for k := range e.globals {
+		keys = append(keys, k)
+	}
+	for k := range e.locals {
+		if !e.isGlobal[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	s := "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s:%d", k, e.Get(k))
+	}
+	return s + "}"
+}

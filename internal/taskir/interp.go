@@ -1,0 +1,179 @@
+package taskir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Work is the abstract cost of executing a job: CPU work units that
+// scale with clock frequency, plus memory-bound time that does not.
+// It instantiates the classical DVFS performance model used in the
+// paper (§3.4): t = Tmem + Ndependent/f.
+type Work struct {
+	// CPU is frequency-dependent work, in cycles at the platform's
+	// reference scale (Ndependent in the paper).
+	CPU float64
+	// MemSec is frequency-independent memory time in seconds (Tmem).
+	MemSec float64
+	// Stmts counts executed IR statements (loop iterations included);
+	// it measures interpreter footprint, e.g. for slice size stats.
+	Stmts int64
+}
+
+// Add accumulates other into w.
+func (w *Work) Add(other Work) {
+	w.CPU += other.CPU
+	w.MemSec += other.MemSec
+	w.Stmts += other.Stmts
+}
+
+// TimeAt returns the execution time in seconds at frequency f (Hz).
+func (w Work) TimeAt(f float64) float64 {
+	return w.MemSec + w.CPU/f
+}
+
+// FeatureRecorder receives feature events during interpretation of an
+// instrumented program. A nil recorder is valid and records nothing.
+type FeatureRecorder interface {
+	// AddFeature adds amount to counter fid.
+	AddFeature(fid int, amount int64)
+	// RecordCall notes that call site fid dispatched to addr.
+	RecordCall(fid int, addr int64)
+}
+
+// Interpreter cost constants. Every executed statement carries a small
+// bookkeeping cost so that a prediction slice — which is all control
+// flow and counter updates — has a realistic, control-flow-proportional
+// execution time, as in the paper's measured predictor overheads
+// (Fig 17: ~3 ms average, ~24 ms for pocketsphinx).
+const (
+	// stmtOverheadCPU is charged per executed statement. An IR
+	// statement stands for a handful of source statements (address
+	// computation, loads, the operation itself), so the charge is on
+	// the order of a hundred cycles; this is what gives prediction
+	// slices their control-flow-proportional, sub-millisecond-to-
+	// millisecond cost (Fig 17).
+	stmtOverheadCPU = 150.0
+	// loopIterOverheadCPU is charged per loop iteration on top of the
+	// body's statements (index update + branch).
+	loopIterOverheadCPU = 50.0
+)
+
+// ErrStepLimit reports that a job exceeded the interpreter step budget,
+// which indicates a runaway loop in a workload definition.
+var ErrStepLimit = errors.New("taskir: interpreter step limit exceeded")
+
+// RunOptions configures interpretation.
+type RunOptions struct {
+	// MaxSteps bounds executed statements; 0 means the default of 50M.
+	MaxSteps int64
+	// Recorder receives feature events; may be nil.
+	Recorder FeatureRecorder
+}
+
+const defaultMaxSteps = 50_000_000
+
+// Run executes one job of the program body in env and returns the work
+// performed. Control flow, feature recording and cost accounting all
+// happen here; time and energy are the simulator's concern.
+func Run(p *Program, env *Env, opts RunOptions) (Work, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+	in := &interp{env: env, rec: opts.Recorder, remaining: maxSteps}
+	if err := in.block(p.Body); err != nil {
+		return in.work, err
+	}
+	return in.work, nil
+}
+
+type interp struct {
+	env       *Env
+	rec       FeatureRecorder
+	work      Work
+	remaining int64
+}
+
+func (in *interp) step() error {
+	in.work.Stmts++
+	in.work.CPU += stmtOverheadCPU
+	in.remaining--
+	if in.remaining < 0 {
+		return ErrStepLimit
+	}
+	return nil
+}
+
+func (in *interp) block(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := in.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) stmt(s Stmt) error {
+	if err := in.step(); err != nil {
+		return err
+	}
+	switch st := s.(type) {
+	case *Assign:
+		in.env.Set(st.Dst, st.Expr.Eval(in.env))
+	case *Compute:
+		in.work.CPU += st.Work
+		in.work.MemSec += st.MemNS * 1e-9
+	case *ComputeScaled:
+		if n := st.Units.Eval(in.env); n > 0 {
+			in.work.CPU += st.WorkPer * float64(n)
+			in.work.MemSec += st.MemNSPer * float64(n) * 1e-9
+		}
+	case *If:
+		if st.Cond.Eval(in.env) != 0 {
+			return in.block(st.Then)
+		}
+		return in.block(st.Else)
+	case *While:
+		maxIter := st.MaxIter
+		if maxIter == 0 {
+			maxIter = 100_000
+		}
+		for i := int64(0); st.Cond.Eval(in.env) != 0; i++ {
+			if i >= maxIter {
+				return fmt.Errorf("taskir: while#%d exceeded %d iterations", st.ID, maxIter)
+			}
+			in.work.CPU += loopIterOverheadCPU
+			if err := in.block(st.Body); err != nil {
+				return err
+			}
+		}
+	case *Loop:
+		n := st.Count.Eval(in.env)
+		for i := int64(0); i < n; i++ {
+			in.work.CPU += loopIterOverheadCPU
+			if st.IndexVar != "" {
+				in.env.Set(st.IndexVar, i)
+			}
+			if err := in.block(st.Body); err != nil {
+				return err
+			}
+		}
+	case *Call:
+		addr := st.Target.Eval(in.env)
+		if body, ok := st.Funcs[addr]; ok {
+			return in.block(body)
+		}
+	case *FeatAdd:
+		if in.rec != nil {
+			in.rec.AddFeature(st.FID, st.Amount.Eval(in.env))
+		}
+	case *FeatCall:
+		if in.rec != nil {
+			in.rec.RecordCall(st.FID, st.Target.Eval(in.env))
+		}
+	default:
+		return fmt.Errorf("taskir: cannot interpret statement type %T", s)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package taskir
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomProgram generates a structurally valid random task program for
+// property-based testing: the instrumentation and slicing pipeline
+// must preserve feature semantics on *any* program, not just the
+// hand-written workloads. Generated programs use the full statement
+// vocabulary (assignments, branches, counted loops with index
+// variables, indirect calls, plain and value-scaled compute) and both
+// parameter and global state, with bounded loop counts so
+// interpretation stays fast.
+func RandomProgram(rng *rand.Rand) *Program {
+	g := &progGen{rng: rng, nextID: 1}
+	p := &Program{
+		Name:    "fuzz",
+		Params:  []string{"p0", "p1", "p2"},
+		Globals: map[string]int64{"g0": rng.Int63n(10), "g1": rng.Int63n(10)},
+	}
+	g.vars = []string{"p0", "p1", "p2", "g0", "g1"}
+	p.Body = g.block(3, 4)
+	return p
+}
+
+type progGen struct {
+	rng    *rand.Rand
+	nextID int
+	vars   []string
+	nLocal int
+}
+
+func (g *progGen) id() int {
+	g.nextID++
+	return g.nextID - 1
+}
+
+// expr builds a random expression over currently defined variables.
+func (g *progGen) expr(depth int) Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			return Const(g.rng.Int63n(21) - 5)
+		}
+		return Var(g.vars[g.rng.Intn(len(g.vars))])
+	}
+	ops := []func(l, r Expr) Expr{Add, Sub, Mul, Div, Mod, Min, Max, LT, LE, GT, GE, EQ, NE, And, Or}
+	op := ops[g.rng.Intn(len(ops))]
+	return op(g.expr(depth-1), g.expr(depth-1))
+}
+
+// boundedCount yields a loop-count expression guaranteed small:
+// (|expr| mod k) for k ≤ 8.
+func (g *progGen) boundedCount() Expr {
+	k := Const(int64(1 + g.rng.Intn(8)))
+	return Mod(Max(g.expr(1), Const(0)), k)
+}
+
+func (g *progGen) newVar() string {
+	name := "t" + string(rune('a'+g.nLocal%26))
+	g.nLocal++
+	// Redefinition of an existing name is fine (it is just an
+	// assignment); only track first occurrence.
+	for _, v := range g.vars {
+		if v == name {
+			return name
+		}
+	}
+	g.vars = append(g.vars, name)
+	return name
+}
+
+func (g *progGen) block(depth, maxStmts int) []Stmt {
+	n := 1 + g.rng.Intn(maxStmts)
+	stmts := make([]Stmt, 0, n)
+	for i := 0; i < n; i++ {
+		stmts = append(stmts, g.stmt(depth))
+	}
+	return stmts
+}
+
+func (g *progGen) stmt(depth int) Stmt {
+	choice := g.rng.Intn(10)
+	if depth <= 0 && choice >= 4 {
+		choice = g.rng.Intn(4)
+	}
+	// Locals introduced inside nested bodies are scoped: they are not
+	// referenced after the statement, so that one-armed branches and
+	// unselected call bodies cannot leave dangling uses.
+	snapshot := len(g.vars)
+	defer func() { g.vars = g.vars[:snapshot] }()
+	switch choice {
+	case 0, 1:
+		// Build the expression before introducing a fresh target, so a
+		// new local can never read itself before definition; the
+		// assigned variable stays visible after the statement.
+		e := g.expr(2)
+		dst := g.pickAssignTarget()
+		snapshot = len(g.vars)
+		return &Assign{Dst: dst, Expr: e}
+	case 2:
+		return &Compute{Label: "work", Work: float64(1 + g.rng.Intn(1000)), MemNS: float64(g.rng.Intn(100))}
+	case 3:
+		return &ComputeScaled{
+			Label:    "scaled",
+			WorkPer:  float64(1 + g.rng.Intn(100)),
+			MemNSPer: float64(g.rng.Intn(10)),
+			Units:    g.boundedCount(),
+		}
+	case 4, 5:
+		return &If{
+			ID:   g.id(),
+			Cond: g.expr(2),
+			Then: g.block(depth-1, 3),
+			Else: g.maybeBlock(depth - 1),
+		}
+	case 6:
+		// Terminating while loop: fresh counter decremented in the
+		// body head, exercising the Fig 7 while pattern. The counter is
+		// hidden from the generator while the body is built so nested
+		// random assignments cannot clobber it (which would break
+		// termination).
+		count := g.boundedCount()
+		// A private counter name, never registered in g.vars, so no
+		// other generated statement can read or clobber it.
+		v := fmt.Sprintf("w%d", g.id())
+		body := append([]Stmt{
+			&Assign{Dst: v, Expr: Sub(Var(v), Const(1))},
+		}, g.block(depth-1, 2)...)
+		return &Loop{ // wrapper so the counter is initialized exactly once
+			ID:    g.id(),
+			Count: Const(1),
+			Body: []Stmt{
+				&Assign{Dst: v, Expr: count},
+				&While{ID: g.id(), Cond: GT(Var(v), Const(0)), Body: body, MaxIter: 1000},
+			},
+		}
+	case 7:
+		// The count is built before the index variable exists: a loop
+		// bound cannot read its own index.
+		count := g.boundedCount()
+		idx := ""
+		if g.rng.Intn(2) == 0 {
+			idx = g.newVar()
+		}
+		return &Loop{
+			ID:       g.id(),
+			Count:    count,
+			IndexVar: idx,
+			Body:     g.block(depth-1, 3),
+		}
+	default:
+		// The target is built before the bodies: a dispatch expression
+		// cannot read a callee's locals.
+		nFuncs := int64(2 + g.rng.Intn(2))
+		target := Mod(Max(g.expr(1), Const(0)), Const(nFuncs+1))
+		funcs := map[int64][]Stmt{}
+		for a := int64(0); a < nFuncs; a++ {
+			funcs[a] = g.block(depth-1, 2)
+		}
+		return &Call{
+			ID:     g.id(),
+			Target: target,
+			Funcs:  funcs,
+		}
+	}
+}
+
+func (g *progGen) maybeBlock(depth int) []Stmt {
+	if g.rng.Intn(2) == 0 {
+		return nil
+	}
+	return g.block(depth, 2)
+}
+
+// pickAssignTarget prefers existing variables (building def-use
+// chains) but sometimes introduces a new local.
+func (g *progGen) pickAssignTarget() string {
+	if g.rng.Intn(4) == 0 {
+		return g.newVar()
+	}
+	return g.vars[g.rng.Intn(len(g.vars))]
+}

@@ -1,0 +1,93 @@
+// Package trace serializes simulation results for offline analysis:
+// per-job CSV (one row per job, ready for plotting the paper's
+// time-series figures) and a JSON document with the run summary.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// WriteCSV emits one row per job with the fields a plotting script
+// needs to regenerate Figs 2, 3, and 19.
+func WriteCSV(w io.Writer, r *sim.Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"job", "release_s", "start_s", "end_s", "deadline_s", "missed",
+		"level", "predictor_s", "switch_s", "exec_s", "predicted_exec_s",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	for _, rec := range r.Records {
+		predicted := ""
+		if !math.IsNaN(rec.PredictedExecSec) {
+			predicted = fmt.Sprintf("%.9f", rec.PredictedExecSec)
+		}
+		row := []string{
+			fmt.Sprintf("%d", rec.Index),
+			fmt.Sprintf("%.9f", rec.ReleaseSec),
+			fmt.Sprintf("%.9f", rec.StartSec),
+			fmt.Sprintf("%.9f", rec.EndSec),
+			fmt.Sprintf("%.9f", rec.DeadlineSec),
+			fmt.Sprintf("%t", rec.Missed),
+			fmt.Sprintf("%d", rec.LevelIdx),
+			fmt.Sprintf("%.9f", rec.PredictorSec),
+			fmt.Sprintf("%.9f", rec.SwitchSec),
+			fmt.Sprintf("%.9f", rec.ExecSec),
+			predicted,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing CSV row %d: %w", rec.Index, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary is the JSON document shape for a run.
+type Summary struct {
+	Workload      string  `json:"workload"`
+	Governor      string  `json:"governor"`
+	BudgetSec     float64 `json:"budget_sec"`
+	Jobs          int     `json:"jobs"`
+	EnergyJ       float64 `json:"energy_j"`
+	SensorEnergyJ float64 `json:"sensor_energy_j"`
+	DurationSec   float64 `json:"duration_sec"`
+	Misses        int     `json:"misses"`
+	MissRate      float64 `json:"miss_rate"`
+	MeanPredSec   float64 `json:"mean_predictor_sec"`
+	MeanSwitchSec float64 `json:"mean_switch_sec"`
+}
+
+// NewSummary derives the JSON summary from a result.
+func NewSummary(r *sim.Result) Summary {
+	return Summary{
+		Workload:      r.Workload,
+		Governor:      r.Governor,
+		BudgetSec:     r.BudgetSec,
+		Jobs:          len(r.Records),
+		EnergyJ:       r.EnergyJ,
+		SensorEnergyJ: r.SensorEnergyJ,
+		DurationSec:   r.DurationSec,
+		Misses:        r.Misses,
+		MissRate:      r.MissRate(),
+		MeanPredSec:   r.MeanPredictorSec(),
+		MeanSwitchSec: r.MeanSwitchSec(),
+	}
+}
+
+// WriteJSON emits the run summary as indented JSON.
+func WriteJSON(w io.Writer, r *sim.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(NewSummary(r)); err != nil {
+		return fmt.Errorf("trace: encoding JSON summary: %w", err)
+	}
+	return nil
+}

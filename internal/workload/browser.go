@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"repro/internal/taskir"
+)
+
+// Uzbl command addresses, dispatched through a function pointer — the
+// paper highlights that its framework automatically discovers event
+// type as a feature for the web browser "because of changes in control
+// flow depending on event type" (§6.1). These constants are the
+// "addresses" the FeatCall instrumentation records.
+const (
+	UzblCmdKey    = 1 // key navigation / caret move
+	UzblCmdScroll = 2 // scroll viewport
+	UzblCmdJS     = 3 // run a small script snippet
+	UzblCmdLoad   = 4 // navigate to a new page (parse + layout)
+	UzblCmdReload = 5 // refresh current page
+)
+
+// Uzbl models the uzbl web browser's command loop: each job executes
+// one command. Most commands are trivial; page loads parse and lay out
+// hundreds of elements (Table 2: 0.04 / 2.2 / 35.5 ms).
+func Uzbl() *Workload {
+	layoutBody := func(elemsVar string) []taskir.Stmt {
+		return []taskir.Stmt{
+			// Parse DOM elements, then lay out the boxes.
+			&taskir.Loop{ID: 10, Count: taskir.Var(elemsVar), IndexVar: "e", Body: []taskir.Stmt{
+				&taskir.Compute{Label: "parseElem", Work: 18e3, MemNS: 900},
+			}},
+			&taskir.Loop{ID: 11, Count: taskir.Var(elemsVar), Body: []taskir.Stmt{
+				&taskir.Compute{Label: "layoutBox", Work: 26e3, MemNS: 1900},
+			}},
+			&taskir.Compute{Label: "paint", Work: 600e3, MemNS: 90e3},
+		}
+	}
+	reloadBody := []taskir.Stmt{
+		// Reload skips parsing (cached DOM) but relays out and repaints.
+		&taskir.Loop{ID: 12, Count: taskir.Var("pageElems"), Body: []taskir.Stmt{
+			&taskir.Compute{Label: "relayoutBox", Work: 24e3, MemNS: 1700},
+		}},
+		&taskir.Compute{Label: "repaint", Work: 500e3, MemNS: 80e3},
+	}
+	prog := &taskir.Program{
+		Name:    "uzbl",
+		Params:  []string{"cmd", "pageElems", "scrollLines", "jsOps"},
+		Globals: map[string]int64{"pageLoads": 0},
+		Body: []taskir.Stmt{
+			&taskir.Compute{Label: "parseCommand", Work: 14e3, MemNS: 600},
+			&taskir.Call{ID: 1, Target: taskir.Var("cmd"), Funcs: map[int64][]taskir.Stmt{
+				UzblCmdKey: {
+					&taskir.Compute{Label: "keyNav", Work: 28e3, MemNS: 1000},
+				},
+				UzblCmdScroll: {
+					&taskir.Loop{ID: 2, Count: taskir.Var("scrollLines"), Body: []taskir.Stmt{
+						&taskir.Compute{Label: "blitLine", Work: 26e3, MemNS: 2200},
+					}},
+				},
+				UzblCmdJS: {
+					&taskir.Loop{ID: 3, Count: taskir.Var("jsOps"), Body: []taskir.Stmt{
+						&taskir.Compute{Label: "jsOp", Work: 60e3, MemNS: 1500},
+					}},
+				},
+				UzblCmdLoad: append([]taskir.Stmt{
+					&taskir.Assign{Dst: "pageLoads", Expr: taskir.Add(taskir.Var("pageLoads"), taskir.Const(1))},
+				}, layoutBody("pageElems")...),
+				UzblCmdReload: reloadBody,
+			}},
+		},
+	}
+	return &Workload{
+		Name:             "uzbl",
+		Desc:             "Web browser",
+		TaskDesc:         "Execute one command (e.g., refresh page)",
+		Prog:             prog,
+		DefaultBudgetSec: 0.050,
+		RefMinMS:         0.04, RefAvgMS: 2.2, RefMaxMS: 35.5,
+		EvalJobs: 400,
+		NewGen: func(seed int64) InputGen {
+			rng := newRNG(seed)
+			cmd := int64(UzblCmdKey)
+			elems := int64(400)
+			return genFunc(func(i int) map[string]int64 {
+				// Scripted browsing session: commands come in runs (keys
+				// repeat, scrolling continues, a load is followed by
+				// reloads/scrolls on the same page), which is what makes
+				// event type such a strong control-flow feature.
+				if rng.Int63n(10) < 4 { // leave the current run
+					switch p := rng.Int63n(100); {
+					case p < 40:
+						cmd = UzblCmdKey
+					case p < 72:
+						cmd = UzblCmdScroll
+					case p < 87:
+						cmd = UzblCmdJS
+					case p < 94:
+						cmd = UzblCmdLoad
+						elems = 150 + rng.Int63n(900)
+					default:
+						cmd = UzblCmdReload
+					}
+				} else if cmd == UzblCmdLoad {
+					cmd = UzblCmdReload // a load is not repeated verbatim
+				}
+				in := map[string]int64{
+					"cmd": cmd, "pageElems": 0, "scrollLines": 0, "jsOps": 0,
+				}
+				switch cmd {
+				case UzblCmdScroll:
+					in["scrollLines"] = 4 + rng.Int63n(28)
+				case UzblCmdJS:
+					in["jsOps"] = 5 + rng.Int63n(40)
+				case UzblCmdLoad, UzblCmdReload:
+					in["pageElems"] = elems
+				}
+				return in
+			})
+		},
+	}
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"repro/internal/taskir"
+)
+
+// Rijndael models the MiBench AES benchmark: each job encrypts one
+// piece of data whose size varies per request; a key change triggers
+// key-schedule recomputation (Table 2: 14.2 / 28.5 / 43.6 ms).
+func Rijndael() *Workload {
+	prog := &taskir.Program{
+		Name:    "rijndael",
+		Params:  []string{"kb", "keyChanged", "residual"},
+		Globals: map[string]int64{"encrypted": 0},
+		Body: []taskir.Stmt{
+			&taskir.If{ID: 1, Cond: taskir.Var("keyChanged"), Then: []taskir.Stmt{
+				&taskir.Compute{Label: "keySchedule", Work: 210e3, MemNS: 4000},
+			}},
+			// Encrypt KB-sized chunks (64 AES blocks each).
+			&taskir.Loop{ID: 2, Count: taskir.Var("kb"), IndexVar: "c", Body: []taskir.Stmt{
+				&taskir.Compute{Label: "encryptChunk", Work: 272e3, MemNS: 13e3},
+			}},
+			// Padding and byte-stuffing cost follows the plaintext's
+			// structure (a data value, invisible to control flow).
+			&taskir.ComputeScaled{Label: "padStuff", WorkPer: 56e3, MemNSPer: 2500, Units: taskir.Var("residual")},
+			// Write back the ciphertext.
+			&taskir.Loop{ID: 3, Count: taskir.Div(taskir.Var("kb"), taskir.Const(8)), Body: []taskir.Stmt{
+				&taskir.Compute{Label: "flushOut", Work: 10e3, MemNS: 22e3},
+			}},
+			&taskir.Assign{Dst: "encrypted", Expr: taskir.Add(taskir.Var("encrypted"), taskir.Var("kb"))},
+		},
+	}
+	return &Workload{
+		Name:             "rijndael",
+		Desc:             "Advanced Encryption Standard (AES)",
+		TaskDesc:         "Encrypt one piece of data",
+		Prog:             prog,
+		DefaultBudgetSec: 0.050,
+		RefMinMS:         14.2, RefAvgMS: 28.5, RefMaxMS: 43.6,
+		InputsKnownAhead: true,
+		Hints:            []Hint{{Name: "plainStructure", Param: "residual"}},
+		EvalJobs:         300,
+		NewGen: func(seed int64) InputGen {
+			rng := newRNG(seed)
+			kb := int64(129)
+			return genFunc(func(i int) map[string]int64 {
+				// Encryption requests drift in size within a session and
+				// jump when a new session starts (which also rekeys).
+				keyChanged := int64(0)
+				if rng.Int63n(10) == 0 {
+					kb = 64 + rng.Int63n(131)
+					keyChanged = 1
+				} else {
+					kb = clampI64(kb+rng.Int63n(25)-12+(129-kb)/16, 64, 194)
+				}
+				return map[string]int64{"kb": kb, "keyChanged": keyChanged, "residual": rng.Int63n(101)}
+			})
+		},
+	}
+}
+
+// SHA models the MiBench SHA benchmark: each job hashes one piece of
+// data; work is linear in input size (Table 2: 4.7 / 25.3 / 46.0 ms).
+func SHA() *Workload {
+	prog := &taskir.Program{
+		Name:    "sha",
+		Params:  []string{"kb"},
+		Globals: map[string]int64{"hashed": 0},
+		Body: []taskir.Stmt{
+			&taskir.Compute{Label: "init", Work: 12e3, MemNS: 500},
+			&taskir.Loop{ID: 1, Count: taskir.Var("kb"), IndexVar: "c", Body: []taskir.Stmt{
+				&taskir.Compute{Label: "shaTransformChunk", Work: 396e3, MemNS: 7400},
+			}},
+			&taskir.Compute{Label: "finalize", Work: 20e3, MemNS: 700},
+			&taskir.Assign{Dst: "hashed", Expr: taskir.Add(taskir.Var("hashed"), taskir.Var("kb"))},
+		},
+	}
+	return &Workload{
+		Name:             "sha",
+		Desc:             "Secure Hash Algorithm (SHA)",
+		TaskDesc:         "Hash one piece of data",
+		Prog:             prog,
+		DefaultBudgetSec: 0.050,
+		RefMinMS:         4.7, RefAvgMS: 25.3, RefMaxMS: 46.0,
+		InputsKnownAhead: true,
+		EvalJobs:         300,
+		NewGen: func(seed int64) InputGen {
+			rng := newRNG(seed)
+			kb := int64(88)
+			return genFunc(func(i int) map[string]int64 {
+				// Hash requests arrive in bursts of similar sizes (a
+				// random walk) with occasional jumps to a new regime.
+				if rng.Int63n(12) == 0 {
+					kb = 16 + rng.Int63n(145)
+				} else {
+					kb = clampI64(kb+rng.Int63n(31)-15+(88-kb)/16, 16, 160)
+				}
+				return map[string]int64{"kb": kb}
+			})
+		},
+	}
+}

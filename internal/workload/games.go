@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"repro/internal/taskir"
+)
+
+// Game2048 models 2048.c: one job reads a key press, slides/merges the
+// 4×4 grid, and renders the board. Job time varies with how many tiles
+// move and merge (Table 2: 0.52 / 1.2 / 2.1 ms).
+func Game2048() *Workload {
+	prog := &taskir.Program{
+		Name:    "2048",
+		Params:  []string{"dir", "moved", "merges", "spawn"},
+		Globals: map[string]int64{"score": 0, "turn": 0},
+		Body: []taskir.Stmt{
+			// Input handling and board scan: always runs.
+			&taskir.Compute{Label: "readInput", Work: 30e3, MemNS: 1500},
+			// Slide pass: each moved tile is shifted and redrawn.
+			&taskir.Loop{ID: 1, Count: taskir.Var("moved"), IndexVar: "t", Body: []taskir.Stmt{
+				&taskir.Compute{Label: "slideTile", Work: 95e3, MemNS: 2500},
+			}},
+			// Merge pass: merging updates the score.
+			&taskir.Loop{ID: 2, Count: taskir.Var("merges"), Body: []taskir.Stmt{
+				&taskir.Compute{Label: "mergeTile", Work: 70e3, MemNS: 2000},
+				&taskir.Assign{Dst: "score", Expr: taskir.Add(taskir.Var("score"), taskir.Const(4))},
+			}},
+			// A new tile spawns only when the move changed the board.
+			&taskir.If{ID: 3, Cond: taskir.Var("spawn"), Then: []taskir.Stmt{
+				&taskir.Compute{Label: "spawnTile", Work: 90e3, MemNS: 2000},
+			}},
+			// Render all 16 cells.
+			&taskir.Loop{ID: 4, Count: taskir.Const(16), Body: []taskir.Stmt{
+				&taskir.Compute{Label: "drawCell", Work: 38e3, MemNS: 1200},
+			}},
+			&taskir.Assign{Dst: "turn", Expr: taskir.Add(taskir.Var("turn"), taskir.Const(1))},
+		},
+	}
+	return &Workload{
+		Name:             "2048",
+		Desc:             "Puzzle game",
+		TaskDesc:         "Update and render one turn",
+		Prog:             prog,
+		DefaultBudgetSec: 0.050,
+		RefMinMS:         0.52, RefAvgMS: 1.2, RefMaxMS: 2.1,
+		EvalJobs: 400,
+		NewGen: func(seed int64) InputGen {
+			rng := newRNG(seed)
+			return genFunc(func(i int) map[string]int64 {
+				// Scripted play: most moves shift a mid-game board; a
+				// few are invalid (nothing moves, no spawn).
+				moved := rng.Int63n(13)
+				merges := int64(0)
+				spawn := int64(0)
+				if moved > 0 {
+					merges = rng.Int63n(clampI64(moved/2, 1, 5))
+					spawn = 1
+				}
+				return map[string]int64{
+					"dir":    rng.Int63n(4),
+					"moved":  moved,
+					"merges": merges,
+					"spawn":  spawn,
+				}
+			})
+		},
+	}
+}
+
+// CurseOfWar models curseofwar's real-time strategy game loop: most
+// ticks only poll for events, but simulation ticks update every
+// country's units, resolve battles, and redraw the map (Table 2:
+// 0.02 / 6.2 / 37.2 ms — a 1800× spread, the widest in the suite).
+func CurseOfWar() *Workload {
+	prog := &taskir.Program{
+		Name:    "curseofwar",
+		Params:  []string{"simTick", "units", "battles", "dirtyRows"},
+		Globals: map[string]int64{"tick": 0},
+		Body: []taskir.Stmt{
+			&taskir.Assign{Dst: "tick", Expr: taskir.Add(taskir.Var("tick"), taskir.Const(1))},
+			// Event poll: the only work on non-simulation ticks.
+			&taskir.Compute{Label: "pollEvents", Work: 22e3, MemNS: 800},
+			&taskir.If{ID: 1, Cond: taskir.Var("simTick"), Then: []taskir.Stmt{
+				// Update every unit's goal and movement.
+				&taskir.Loop{ID: 2, Count: taskir.Var("units"), IndexVar: "u", Body: []taskir.Stmt{
+					&taskir.Compute{Label: "unitAI", Work: 60e3, MemNS: 1400},
+				}},
+				// Resolve battles: the game walks a linked list of
+				// engagements (a while loop with no closed-form count —
+				// the paper's Fig 7 while pattern, whose feature counter
+				// lives inside the body).
+				&taskir.Assign{Dst: "fightQueue", Expr: taskir.Var("battles")},
+				&taskir.While{ID: 3, Cond: taskir.GT(taskir.Var("fightQueue"), taskir.Const(0)), Body: []taskir.Stmt{
+					&taskir.Assign{Dst: "fightQueue", Expr: taskir.Sub(taskir.Var("fightQueue"), taskir.Const(1))},
+					&taskir.Compute{Label: "battle", Work: 330e3, MemNS: 6000},
+				}},
+				// Redraw the dirty portion of the map grid.
+				&taskir.Loop{ID: 4, Count: taskir.Var("dirtyRows"), Body: []taskir.Stmt{
+					&taskir.Compute{Label: "drawRow", Work: 120e3, MemNS: 5000},
+				}},
+			}},
+		},
+	}
+	return &Workload{
+		Name:             "curseofwar",
+		Desc:             "Real-time strategy game",
+		TaskDesc:         "Update and render one game loop iteration",
+		Prog:             prog,
+		DefaultBudgetSec: 0.050,
+		RefMinMS:         0.02, RefAvgMS: 6.2, RefMaxMS: 37.2,
+		EvalJobs: 400,
+		NewGen: func(seed int64) InputGen {
+			rng := newRNG(seed)
+			return genFunc(func(i int) map[string]int64 {
+				// Every fifth tick is a pure event poll (the game loop
+				// simulates on a fixed divider of the frame clock).
+				if i%5 == 4 {
+					return map[string]int64{"simTick": 0, "units": 0, "battles": 0, "dirtyRows": 0}
+				}
+				// Armies grow and shrink in waves; occasionally a full
+				// war breaks out with every unit engaged.
+				base := wave(i, 160, 20, 230)
+				units := clampI64(base+rng.Int63n(80)-40, 10, 600)
+				battles := rng.Int63n(clampI64(units/30, 1, 12))
+				if rng.Int63n(20) == 0 { // war tick
+					units = clampI64(units+250+rng.Int63n(100), 10, 620)
+					battles = 15 + rng.Int63n(16)
+				}
+				return map[string]int64{
+					"simTick":   1,
+					"units":     units,
+					"battles":   battles,
+					"dirtyRows": 18 + rng.Int63n(7),
+				}
+			})
+		},
+	}
+}
+
+// XPilot models the xpilot client's frame loop: update ships and
+// bullets, then render (Table 2: 0.2 / 1.3 / 3.1 ms).
+func XPilot() *Workload {
+	prog := &taskir.Program{
+		Name:    "xpilot",
+		Params:  []string{"ships", "bullets", "explosion"},
+		Globals: map[string]int64{"frame": 0},
+		Body: []taskir.Stmt{
+			&taskir.Assign{Dst: "frame", Expr: taskir.Add(taskir.Var("frame"), taskir.Const(1))},
+			&taskir.Compute{Label: "netInput", Work: 120e3, MemNS: 3000},
+			&taskir.Loop{ID: 1, Count: taskir.Var("ships"), IndexVar: "s", Body: []taskir.Stmt{
+				&taskir.Compute{Label: "shipPhysics", Work: 200e3, MemNS: 3500},
+			}},
+			&taskir.Loop{ID: 2, Count: taskir.Var("bullets"), Body: []taskir.Stmt{
+				&taskir.Compute{Label: "bulletPhysics", Work: 30e3, MemNS: 700},
+			}},
+			&taskir.If{ID: 3, Cond: taskir.Var("explosion"), Then: []taskir.Stmt{
+				&taskir.Compute{Label: "particles", Work: 600e3, MemNS: 12000},
+			}},
+			&taskir.Compute{Label: "render", Work: 110e3, MemNS: 3000},
+		},
+	}
+	return &Workload{
+		Name:             "xpilot",
+		Desc:             "2D space game",
+		TaskDesc:         "Update and render one game loop iteration",
+		Prog:             prog,
+		DefaultBudgetSec: 0.050,
+		RefMinMS:         0.2, RefAvgMS: 1.3, RefMaxMS: 3.1,
+		EvalJobs: 400,
+		NewGen: func(seed int64) InputGen {
+			rng := newRNG(seed)
+			return genFunc(func(i int) map[string]int64 {
+				// Dogfights come in waves; bullets track ships.
+				ships := clampI64(wave(i, 90, 1, 7)+rng.Int63n(3)-1, 0, 8)
+				bullets := rng.Int63n(clampI64(ships*8+1, 1, 45))
+				expl := int64(0)
+				if ships >= 3 && rng.Int63n(6) == 0 {
+					expl = 1
+				}
+				return map[string]int64{"ships": ships, "bullets": bullets, "explosion": expl}
+			})
+		},
+	}
+}

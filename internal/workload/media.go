@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"repro/internal/taskir"
+)
+
+// LDecode models the H.264 reference decoder: each job decodes one
+// CIF-sized frame (396 macroblocks). I-frames intra-predict every
+// block, P/B frames motion-compensate coded blocks and cheaply skip
+// the rest; per-frame motion activity controls the coded/skipped split
+// and the interpolation depth (Table 2: 6.2 / 20.4 / 32.5 ms, and the
+// oscillating per-frame pattern of Fig 2).
+func LDecode() *Workload {
+	const mbTotal = 396
+	prog := &taskir.Program{
+		Name:    "ldecode",
+		Params:  []string{"frameType", "motion", "bits", "residual"},
+		Globals: map[string]int64{"decoded": 0},
+		Body: []taskir.Stmt{
+			// Entropy-decode the bitstream payload (size-dependent).
+			&taskir.Assign{Dst: "bitChunks", Expr: taskir.Div(taskir.Var("bits"), taskir.Const(2048))},
+			&taskir.Loop{ID: 1, Count: taskir.Var("bitChunks"), Body: []taskir.Stmt{
+				&taskir.Compute{Label: "cabac", Work: 36e3, MemNS: 1100},
+			}},
+			&taskir.If{ID: 2, Cond: taskir.EQ(taskir.Var("frameType"), taskir.Const(0)),
+				Then: []taskir.Stmt{ // I-frame: intra-predict all blocks
+					&taskir.Loop{ID: 3, Count: taskir.Const(mbTotal), IndexVar: "mb", Body: []taskir.Stmt{
+						&taskir.Compute{Label: "intraPredict", Work: 86e3, MemNS: 5200},
+					}},
+				},
+				Else: []taskir.Stmt{ // P/B-frame: walk the macroblocks;
+					// whether a block is coded (motion-compensated) or
+					// skipped depends on its header bits, modeled as a
+					// hash of position and frame motion. The coded-block
+					// branch is the decisive feature, and computing it
+					// forces the prediction slice to iterate the blocks
+					// like the real slice walks the header stream.
+					&taskir.Loop{ID: 4, Count: taskir.Const(mbTotal), IndexVar: "mb", Body: []taskir.Stmt{
+						&taskir.Assign{Dst: "hdr", Expr: taskir.Mod(
+							taskir.Add(taskir.Mul(taskir.Var("mb"), taskir.Const(7919)), taskir.Mul(taskir.Var("motion"), taskir.Const(13))),
+							taskir.Const(100))},
+						&taskir.If{ID: 5, Cond: taskir.LT(taskir.Var("hdr"), taskir.Var("motion")),
+							Then: []taskir.Stmt{
+								&taskir.Compute{Label: "motionComp", Work: 68e3, MemNS: 4900},
+								// B-frames interpolate from two reference lists.
+								&taskir.If{ID: 6, Cond: taskir.EQ(taskir.Var("frameType"), taskir.Const(2)), Then: []taskir.Stmt{
+									&taskir.Compute{Label: "biPredict", Work: 31e3, MemNS: 2400},
+								}},
+							},
+							Else: []taskir.Stmt{
+								&taskir.Compute{Label: "copySkip", Work: 6e3, MemNS: 1400},
+							}},
+					}},
+				}},
+			// Residual reconstruction: cost follows the coefficient
+			// energy of this frame's transform blocks — a data value,
+			// not control flow, so no feature can predict it (§3.2).
+			&taskir.ComputeScaled{Label: "idctResidual", WorkPer: 30e3, MemNSPer: 1200, Units: taskir.Var("residual")},
+			// Deblocking filter across the frame.
+			&taskir.Loop{ID: 8, Count: taskir.Const(18), Body: []taskir.Stmt{
+				&taskir.Compute{Label: "deblockRow", Work: 52e3, MemNS: 2600},
+			}},
+			&taskir.Assign{Dst: "decoded", Expr: taskir.Add(taskir.Var("decoded"), taskir.Const(1))},
+		},
+	}
+	return &Workload{
+		Name:             "ldecode",
+		Desc:             "H.264 decoder",
+		TaskDesc:         "Decode one frame",
+		Prog:             prog,
+		DefaultBudgetSec: 0.050,
+		RefMinMS:         6.2, RefAvgMS: 20.4, RefMaxMS: 32.5,
+		InputsKnownAhead: true,
+		// The frame header carries the residual coefficient energy —
+		// metadata a developer can surface as a hint (§3.5).
+		Hints:    []Hint{{Name: "coeffEnergy", Param: "residual"}},
+		EvalJobs: 300,
+		NewGen: func(seed int64) InputGen {
+			rng := newRNG(seed)
+			return genFunc(func(i int) map[string]int64 {
+				// GOP structure IBBPBBPBBPBB; motion activity drifts in
+				// scene-length waves (Fig 2's oscillation) plus noise.
+				var ft int64
+				switch {
+				case i%12 == 0:
+					ft = 0 // I
+				case i%3 == 0:
+					ft = 1 // P
+				default:
+					ft = 2 // B
+				}
+				motion := clampI64(wave(i, 75, 25, 85)+rng.Int63n(21)-10, 5, 92)
+				bits := 40e3 + motion*1200 + rng.Int63n(30e3)
+				return map[string]int64{
+					"frameType": ft,
+					"motion":    motion,
+					"bits":      bits,
+					"residual":  rng.Int63n(101), // coefficient energy
+				}
+			})
+		},
+	}
+}
+
+// PocketSphinx models continuous speech recognition: each job
+// processes one utterance. Work scales with utterance length (frames)
+// and the number of active HMM state blocks per frame, which follows
+// speech perplexity (Table 2: 718 / 1661 / 2951 ms — the paper gives
+// it a 4 s budget, the interactive response limit).
+func PocketSphinx() *Workload {
+	prog := &taskir.Program{
+		Name:    "pocketsphinx",
+		Params:  []string{"frames", "perplex", "residual"},
+		Globals: map[string]int64{"utterances": 0},
+		Body: []taskir.Stmt{
+			&taskir.Compute{Label: "loadAudio", Work: 2.5e6, MemNS: 800e3},
+			// Per-frame Viterbi beam search: each frame tests every
+			// state block against the beam; whether a block is active
+			// depends on the frame and the utterance perplexity. The
+			// taken-branch count is the decisive feature, and computing
+			// it makes the prediction slice walk frames × blocks — the
+			// reason pocketsphinx has by far the costliest predictor
+			// in Fig 17 (~24 ms, negligible against second-long jobs).
+			&taskir.Loop{ID: 1, Count: taskir.Var("frames"), IndexVar: "f", Body: []taskir.Stmt{
+				&taskir.Assign{Dst: "beam", Expr: taskir.Add(
+					taskir.Var("perplex"),
+					taskir.Mod(taskir.Mul(taskir.Var("f"), taskir.Const(7)), taskir.Const(13)))},
+				&taskir.Loop{ID: 2, Count: taskir.Const(70), IndexVar: "b", Body: []taskir.Stmt{
+					&taskir.Assign{Dst: "score", Expr: taskir.Mod(
+						taskir.Add(taskir.Mul(taskir.Var("b"), taskir.Const(89)), taskir.Mul(taskir.Var("f"), taskir.Const(31))),
+						taskir.Const(97))},
+					&taskir.If{ID: 3, Cond: taskir.LT(taskir.Var("score"), taskir.Var("beam")), Then: []taskir.Stmt{
+						&taskir.Compute{Label: "gmmScoreBlock", Work: 300e3, MemNS: 22e3},
+					}},
+				}},
+			}},
+			// Acoustic-score normalization over the utterance: cost
+			// tracks the audio's spectral energy (a data value).
+			&taskir.ComputeScaled{Label: "scoreNorm", WorkPer: 1.9e6, MemNSPer: 90e3, Units: taskir.Var("residual")},
+			// Lattice rescoring pass at utterance end.
+			&taskir.Loop{ID: 4, Count: taskir.Div(taskir.Var("frames"), taskir.Const(4)), Body: []taskir.Stmt{
+				&taskir.Compute{Label: "latticeRescore", Work: 300e3, MemNS: 20e3},
+			}},
+			&taskir.Assign{Dst: "utterances", Expr: taskir.Add(taskir.Var("utterances"), taskir.Const(1))},
+		},
+	}
+	return &Workload{
+		Name:             "pocketsphinx",
+		Desc:             "Speech recognition",
+		TaskDesc:         "Process one speech sample",
+		Prog:             prog,
+		DefaultBudgetSec: 4.0,
+		RefMinMS:         718, RefAvgMS: 1661, RefMaxMS: 2951,
+		InputsKnownAhead: true,
+		Hints:            []Hint{{Name: "spectralEnergy", Param: "residual"}},
+		EvalJobs:         60,
+		NewGen: func(seed int64) InputGen {
+			rng := newRNG(seed)
+			return genFunc(func(i int) map[string]int64 {
+				frames := 130 + rng.Int63n(170) // 1.3–3 s of speech
+				perplex := 18 + rng.Int63n(30)
+				return map[string]int64{
+					"frames":   frames,
+					"perplex":  perplex,
+					"residual": rng.Int63n(101), // spectral energy
+				}
+			})
+		},
+	}
+}

@@ -1,0 +1,89 @@
+// Package repro reproduces "Prediction-Guided Performance-Energy
+// Trade-off for Interactive Applications" (Lo, Song & Suh, MICRO-48,
+// 2015): an automated framework that, given an interactive task and
+// its response-time budget, generates a prediction-based DVFS
+// controller. Before each job the controller runs a program slice that
+// computes the job's control-flow features, predicts its execution
+// time with a linear model trained under an asymmetric
+// (under-prediction-averse) Lasso objective, and sets the lowest
+// frequency that just meets the deadline.
+//
+// The package is a facade over the implementation:
+//
+//   - BuildController runs the off-line pipeline (instrument → profile
+//     → train → slice) and returns a controller that plugs into the
+//     simulator as a Governor.
+//   - Simulate executes a workload under any governor on the modeled
+//     ODROID-XU3 platform and accounts energy and deadline misses.
+//   - NewSuite exposes every experiment of the paper's evaluation
+//     (Table 2, Figs 2–21) as a Run* method; cmd/dvfsbench prints them.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Re-exported types forming the public API surface.
+type (
+	// Workload is a benchmark task with its input model (Table 2).
+	Workload = workload.Workload
+	// Controller is a generated prediction-based DVFS controller; it
+	// implements Governor.
+	Controller = core.Controller
+	// ControllerConfig parameterizes controller generation (α, γ,
+	// margin, profiling size).
+	ControllerConfig = core.Config
+	// Governor is a DVFS policy under simulation.
+	Governor = governor.Governor
+	// Platform models a CPU with discrete DVFS levels and a power model.
+	Platform = platform.Platform
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sim.Config
+	// SimResult is a run's records, energy, and deadline misses.
+	SimResult = sim.Result
+	// Suite regenerates the paper's tables and figures.
+	Suite = experiments.Suite
+)
+
+// Workloads returns the paper's eight benchmarks.
+func Workloads() []*Workload { return workload.All() }
+
+// WorkloadByName returns the named benchmark ("2048", "curseofwar",
+// "ldecode", "pocketsphinx", "rijndael", "sha", "uzbl", "xpilot").
+func WorkloadByName(name string) (*Workload, error) { return workload.ByName(name) }
+
+// ODROIDXU3 returns the modeled evaluation platform: the ODROID-XU3
+// board's Cortex-A7 cluster with 13 DVFS levels (200 MHz – 1.4 GHz).
+func ODROIDXU3() *Platform { return platform.ODROIDXU3A7() }
+
+// BuildController generates the prediction-based DVFS controller for a
+// workload — the paper's off-line flow (Fig 13).
+func BuildController(w *Workload, cfg ControllerConfig) (*Controller, error) {
+	return core.Build(w, cfg)
+}
+
+// Simulate runs a workload under a governor and returns per-job
+// records, integrated energy, and deadline misses.
+func Simulate(w *Workload, g Governor, cfg SimConfig) (*SimResult, error) {
+	return sim.Run(w, g, cfg)
+}
+
+// NewSuite builds the experiment suite; the same seed reproduces every
+// table and figure bit-for-bit.
+func NewSuite(seed int64) *Suite { return experiments.NewSuite(seed) }
+
+// PerformanceGovernor returns the Linux performance governor (always
+// maximum frequency) for the platform — the paper's energy baseline.
+func PerformanceGovernor(p *Platform) Governor { return &governor.Performance{Plat: p} }
+
+// InteractiveGovernor returns the Linux interactive governor model
+// (80 ms utilization sampling, 85% hispeed threshold).
+func InteractiveGovernor(p *Platform) Governor { return &governor.Interactive{Plat: p} }

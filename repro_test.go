@@ -1,0 +1,68 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way a downstream user
+// would: pick a workload, generate a controller, simulate, compare.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	w, err := repro.WorkloadByName("ldecode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := repro.ODROIDXU3()
+
+	ctrl, err := repro.BuildController(w, repro.ControllerConfig{Plat: plat, ProfileSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := repro.SimConfig{Plat: plat, Seed: 2, Jobs: 150}
+	pred, err := repro.Simulate(w, ctrl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := repro.Simulate(w, repro.PerformanceGovernor(plat), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pred.EnergyJ >= perf.EnergyJ {
+		t.Errorf("prediction energy %.3g not below performance %.3g", pred.EnergyJ, perf.EnergyJ)
+	}
+	if pred.MissRate() > 0.01 {
+		t.Errorf("prediction miss rate %.3f", pred.MissRate())
+	}
+
+	inter, err := repro.Simulate(w, repro.InteractiveGovernor(plat), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.EnergyJ <= pred.EnergyJ {
+		t.Errorf("interactive energy %.3g not above prediction %.3g", inter.EnergyJ, pred.EnergyJ)
+	}
+}
+
+func TestWorkloadsComplete(t *testing.T) {
+	ws := repro.Workloads()
+	if len(ws) != 8 {
+		t.Fatalf("workloads = %d, want 8", len(ws))
+	}
+	if _, err := repro.WorkloadByName("nope"); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestSuiteSmoke(t *testing.T) {
+	s := repro.NewSuite(3)
+	rows, err := s.RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("table2 rows = %d", len(rows))
+	}
+}
