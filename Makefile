@@ -1,0 +1,27 @@
+# Local mirror of .github/workflows/ci.yml: `make check` runs the
+# exact gate CI enforces.
+
+.PHONY: check fmt vet build test lint bench
+
+check: fmt vet build test lint
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+lint:
+	go run ./cmd/dvfslint -workload all
+
+bench:
+	go test -bench=. -benchmem .

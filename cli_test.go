@@ -1,9 +1,12 @@
 package repro_test
 
 import (
+	"os"
 	"os/exec"
 	"strings"
 	"testing"
+
+	"repro/internal/taskir"
 )
 
 // CLI smoke tests: build-and-run each command the way a user would.
@@ -56,5 +59,57 @@ func TestCLIProfileSaveSimLoad(t *testing.T) {
 	out = runCLI(t, "./cmd/dvfssim", "-workload", "sha", "-model", model, "-jobs", "50")
 	if !strings.Contains(out, "governor   prediction") || !strings.Contains(out, "misses") {
 		t.Errorf("sim output:\n%s", out)
+	}
+}
+
+func TestCLIDvfslintCleanOnSeedWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := runCLI(t, "./cmd/dvfslint", "-workload", "all")
+	if !strings.Contains(out, "dvfslint: ok") {
+		t.Errorf("expected clean lint of seed workloads:\n%s", out)
+	}
+}
+
+// Acceptance check from the issue: a crafted program with an
+// undefined-variable read and an uninstrumented loop must make
+// dvfslint exit non-zero and name both problems.
+func TestCLIDvfslintFlagsCraftedProgram(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	p := &taskir.Program{
+		Name:   "crafted",
+		Params: []string{"n"},
+		Body: []taskir.Stmt{
+			// A counter elsewhere marks the program as instrumented...
+			&taskir.FeatAdd{FID: 0, Amount: taskir.Max(taskir.Var("n"), taskir.Const(0))},
+			// Read of a variable no path defines.
+			&taskir.Assign{Dst: "x", Expr: taskir.Var("ghost")},
+			// ...which makes this loop — with no adjacent or in-body
+			// counter — a coverage gap.
+			&taskir.Loop{ID: 1, Count: taskir.Var("n"), Body: []taskir.Stmt{
+				&taskir.Assign{Dst: "y", Expr: taskir.Const(1)},
+			}},
+		},
+	}
+	data, err := taskir.MarshalProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := t.TempDir() + "/crafted.json"
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/dvfslint", "-file", file)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("dvfslint exited zero on a broken program:\n%s", out)
+	}
+	for _, want := range []string{"undefined-read", "uninstrumented"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
 	}
 }

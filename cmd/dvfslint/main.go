@@ -1,0 +1,219 @@
+// Command dvfslint runs the static-analysis passes of
+// internal/analysis over task programs and reports problems before
+// they can reach a governor: undefined-variable reads (which the
+// interpreter silently evaluates to 0), unreachable statements,
+// feature-coverage gaps (uninstrumented loops/branches/calls, §3.1),
+// constant feature expressions, slice-verification failures, and the
+// static worst-case slice overhead bound.
+//
+// Usage:
+//
+//	dvfslint -workload ldecode            lint one benchmark (or "all")
+//	dvfslint -file prog.json              lint a task program file
+//	dvfslint -rand 50 -seed 3             lint generated random programs
+//
+// Exit status: 0 when only warnings (or nothing) were found, 1 when
+// any error-severity finding or verification failure was reported,
+// 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/instrument"
+	"repro/internal/platform"
+	"repro/internal/slicer"
+	"repro/internal/taskir"
+	"repro/internal/workload"
+)
+
+func main() {
+	wName := flag.String("workload", "", "benchmark to lint, or \"all\"")
+	file := flag.String("file", "", "lint a task program from a JSON file")
+	nRand := flag.Int("rand", 0, "lint this many generated random programs")
+	seed := flag.Int64("seed", 1, "seed for -rand")
+	jobs := flag.Int("jobs", 5, "jobs per workload for the run-time undefined-read check")
+	flag.Parse()
+
+	if *wName == "" && *file == "" && *nRand == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	errs, err := run(*wName, *file, *nRand, *seed, *jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvfslint:", err)
+		os.Exit(2)
+	}
+	if errs > 0 {
+		fmt.Printf("dvfslint: %d error(s)\n", errs)
+		os.Exit(1)
+	}
+	fmt.Println("dvfslint: ok")
+}
+
+// run lints the selected programs and returns the number of
+// error-severity findings.
+func run(wName, file string, nRand int, seed int64, jobs int) (int, error) {
+	errs := 0
+	switch {
+	case wName == "all":
+		for _, w := range workload.All() {
+			errs += lintWorkload(w, jobs)
+		}
+	case wName != "":
+		w, err := workload.ByName(wName)
+		if err != nil {
+			return 0, err
+		}
+		errs += lintWorkload(w, jobs)
+	}
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return 0, err
+		}
+		p, err := taskir.UnmarshalProgram(data)
+		if err != nil {
+			return 0, err
+		}
+		// A file that already carries feature statements claims to be
+		// instrumented, so coverage gaps are findings; a raw task
+		// program legitimately has no counters yet.
+		opts := analysis.LintOptions{CheckCoverage: hasFeatures(p)}
+		findings := analysis.Lint(p, opts)
+		report(p.Name+" (file)", findings)
+		errs += analysis.ErrorCount(findings)
+	}
+	if nRand > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < nRand; i++ {
+			p := taskir.RandomProgram(rng)
+			p.Name = fmt.Sprintf("rand-%d", i)
+			findings := analysis.Lint(p, analysis.LintOptions{})
+			// Random programs legitimately read temporaries defined on
+			// only some paths, so undefined-read findings here are real
+			// lint hits; a bad-slice error, however, is an analysis or
+			// slicer regression.
+			findings = append(findings, verifySliceOf(p)...)
+			report(p.Name, findings)
+			errs += analysis.ErrorCount(findings)
+		}
+	}
+	return errs, nil
+}
+
+// lintWorkload lints the raw program, the instrumented copy, the full
+// prediction slice, and runs a few jobs with read tracking to confirm
+// undefined reads at run time. Returns the error count.
+func lintWorkload(w *workload.Workload, jobs int) int {
+	findings := analysis.Lint(w.Prog, analysis.LintOptions{})
+	report(w.Name+" (raw)", findings)
+	errs := analysis.ErrorCount(findings)
+
+	ip := instrument.Instrument(w.Prog)
+	ifindings := analysis.Lint(ip.Prog, analysis.LintOptions{CheckCoverage: true})
+	report(w.Name+" (instrumented)", ifindings)
+	errs += analysis.ErrorCount(ifindings)
+
+	sfindings := verifySliceStatic(ip, w)
+	report(w.Name+" (slice)", sfindings)
+	errs += analysis.ErrorCount(sfindings)
+
+	if reads := runtimeUndefReads(w, jobs); len(reads) > 0 {
+		fmt.Printf("== %s (runtime)\n", w.Name)
+		for _, v := range reads {
+			fmt.Printf("  error [undefined-read] variable %q read before definition during job execution\n", v)
+			errs++
+		}
+	}
+	return errs
+}
+
+// verifySliceStatic extracts the full slice, verifies it, and reports
+// its static worst-case overhead bound.
+func verifySliceStatic(ip *instrument.Program, w *workload.Workload) []analysis.Finding {
+	sl := slicer.Extract(ip, nil)
+	rep, err := analysis.VerifySlice(ip, sl)
+	var findings []analysis.Finding
+	if err != nil {
+		findings = append(findings, analysis.Finding{Sev: analysis.SevError, Code: "bad-slice", Msg: err.Error()})
+	}
+	plat := platform.ODROIDXU3A7()
+	bound := analysis.BoundCost(sl.Prog, nil)
+	boundMsg := "unbounded (loop bound not derivable without input ranges)"
+	if bound.Finite() {
+		boundMsg = fmt.Sprintf("%.0f stmts, %.3g ms at fmax",
+			bound.Stmts, 1e3*plat.JobTimeAt(bound.CPUWork(), 0, plat.MaxLevel()))
+	}
+	fmt.Printf("== %s (slice) %d/%d stmts, features %v, writes globals %v (isolated), worst case %s\n",
+		w.Name, sl.SliceStmts, sl.FullStmts, rep.ComputedFIDs, rep.GlobalsWritten, boundMsg)
+	return findings
+}
+
+// verifySliceOf instruments and slices a program and converts a
+// verification failure into findings.
+func verifySliceOf(p *taskir.Program) []analysis.Finding {
+	ip := instrument.Instrument(p)
+	sl := slicer.Extract(ip, nil)
+	if _, err := analysis.VerifySlice(ip, sl); err != nil {
+		return []analysis.Finding{{Sev: analysis.SevError, Code: "bad-slice", Msg: err.Error()}}
+	}
+	return nil
+}
+
+// runtimeUndefReads executes a few jobs with read tracking enabled and
+// returns the variables read before definition.
+func runtimeUndefReads(w *workload.Workload, jobs int) []string {
+	gen := w.NewGen(1)
+	globals := w.FreshGlobals()
+	env := taskir.NewEnv(globals)
+	env.TrackReads()
+	for i := 0; i < jobs; i++ {
+		env.ResetLocals()
+		env.SetParams(gen.Next(i))
+		if _, err := taskir.Run(w.Prog, env, taskir.RunOptions{}); err != nil {
+			return env.UndefinedReads()
+		}
+	}
+	return env.UndefinedReads()
+}
+
+func report(title string, findings []analysis.Finding) {
+	if len(findings) == 0 {
+		return
+	}
+	fmt.Printf("== %s\n", title)
+	for _, f := range findings {
+		fmt.Printf("  %s\n", f)
+	}
+}
+
+func hasFeatures(p *taskir.Program) bool {
+	found := false
+	var walk func(stmts []taskir.Stmt)
+	walk = func(stmts []taskir.Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *taskir.FeatAdd, *taskir.FeatCall:
+				found = true
+			case *taskir.If:
+				walk(st.Then)
+				walk(st.Else)
+			case *taskir.While:
+				walk(st.Body)
+			case *taskir.Loop:
+				walk(st.Body)
+			case *taskir.Call:
+				for _, b := range st.Funcs {
+					walk(b)
+				}
+			}
+		}
+	}
+	walk(p.Body)
+	return found
+}

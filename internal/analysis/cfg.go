@@ -1,0 +1,191 @@
+// Package analysis is a static-analysis framework over taskir
+// programs: control-flow graphs, reaching definitions and def-use
+// chains, conditional constant propagation, interval-based cost
+// bounds, and side-effect classification. On top of the framework sit
+// three consumers: VerifySlice proves properties of prediction slices
+// the slicer only approximates (paper §3.2's side-effect-free,
+// feature-complete slice), BoundCost derives a static worst case for
+// slice overhead (making §3.4's budget subtraction safe), and Lint
+// powers the dvfslint tool's program checks.
+//
+// The framework is deliberately self-contained (stdlib only) and works
+// on the structured Stmt trees directly: taskir has no goto, so every
+// control construct lowers to a small fixed CFG shape and all loop
+// back-edges are known at construction time.
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/taskir"
+)
+
+// Block is a CFG node: a run of straight-line statements, optionally
+// ended by a control statement (Term) whose successor edges encode
+// branch, loop, or dispatch structure. Straight-line statements are
+// Assign, Compute, ComputeScaled, FeatAdd, and FeatCall; Term is one
+// of If, While, Loop, or Call (condition/count/target evaluation
+// happens in this block, the controlled bodies are separate blocks).
+type Block struct {
+	ID    int
+	Stmts []taskir.Stmt
+	// IndexDefs lists loop index variables defined on entry to this
+	// block: the body head of a Loop with an IndexVar assigns the
+	// index before the body runs.
+	IndexDefs []string
+	Term      taskir.Stmt
+	Succs     []int
+	Preds     []int
+}
+
+// CFG is the control-flow graph of a program body. Entry has no
+// predecessors; Exit has no successors and no statements.
+type CFG struct {
+	Blocks []*Block
+	Entry  int
+	Exit   int
+	// BackEdges lists [from, to] block pairs that close a loop (the
+	// edge from a loop body's exit back to the loop head).
+	BackEdges [][2]int
+}
+
+// BuildCFG lowers a program body to its control-flow graph.
+//
+// Lowering shapes:
+//
+//	If:    cond-block → then-entry … then-exit → join
+//	              └──→ else-entry … else-exit → join   (or → join directly)
+//	Loop:  pred → head → body-entry … body-exit → head (back edge)
+//	               └──→ after
+//	While: same as Loop (the condition re-evaluates at the head)
+//	Call:  call-block → func-entry … func-exit → join  (one per address)
+//	               └──→ join                            (unknown address)
+func BuildCFG(body []taskir.Stmt) *CFG {
+	b := &cfgBuilder{}
+	// The entry block stays empty: entry definitions (params, globals,
+	// the undefined-at-entry pseudo-defs) conceptually live there,
+	// strictly before any program statement.
+	entry := b.newBlock()
+	first := b.newBlock()
+	b.edge(entry, first)
+	last := b.lower(body, first)
+	exit := b.newBlock()
+	b.edge(last, exit)
+	return &CFG{Blocks: b.blocks, Entry: entry, Exit: exit, BackEdges: b.backEdges}
+}
+
+type cfgBuilder struct {
+	blocks    []*Block
+	backEdges [][2]int
+}
+
+func (b *cfgBuilder) newBlock() int {
+	id := len(b.blocks)
+	b.blocks = append(b.blocks, &Block{ID: id})
+	return id
+}
+
+func (b *cfgBuilder) edge(from, to int) {
+	b.blocks[from].Succs = append(b.blocks[from].Succs, to)
+	b.blocks[to].Preds = append(b.blocks[to].Preds, from)
+}
+
+// lower appends the statements of stmts starting in block cur and
+// returns the block that control flows out of.
+func (b *cfgBuilder) lower(stmts []taskir.Stmt, cur int) int {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *taskir.If:
+			b.blocks[cur].Term = st
+			join := b.newBlock()
+			thenEntry := b.newBlock()
+			b.edge(cur, thenEntry)
+			b.edge(b.lower(st.Then, thenEntry), join)
+			if len(st.Else) > 0 {
+				elseEntry := b.newBlock()
+				b.edge(cur, elseEntry)
+				b.edge(b.lower(st.Else, elseEntry), join)
+			} else {
+				b.edge(cur, join)
+			}
+			cur = join
+		case *taskir.While:
+			cur = b.lowerLoop(st, st.Body, "", cur)
+		case *taskir.Loop:
+			cur = b.lowerLoop(st, st.Body, st.IndexVar, cur)
+		case *taskir.Call:
+			b.blocks[cur].Term = st
+			join := b.newBlock()
+			b.edge(cur, join) // unknown address: the call executes nothing
+			for _, addr := range sortedAddrs(st.Funcs) {
+				fEntry := b.newBlock()
+				b.edge(cur, fEntry)
+				b.edge(b.lower(st.Funcs[addr], fEntry), join)
+			}
+			cur = join
+		default:
+			b.blocks[cur].Stmts = append(b.blocks[cur].Stmts, s)
+		}
+	}
+	return cur
+}
+
+// lowerLoop builds the shared Loop/While shape: a dedicated head block
+// holding the count/condition evaluation, a body sub-graph with a back
+// edge to the head, and an after block.
+func (b *cfgBuilder) lowerLoop(term taskir.Stmt, body []taskir.Stmt, indexVar string, cur int) int {
+	head := b.newBlock()
+	b.edge(cur, head)
+	b.blocks[head].Term = term
+	bodyEntry := b.newBlock()
+	b.edge(head, bodyEntry)
+	if indexVar != "" {
+		b.blocks[bodyEntry].IndexDefs = append(b.blocks[bodyEntry].IndexDefs, indexVar)
+	}
+	bodyExit := b.lower(body, bodyEntry)
+	b.edge(bodyExit, head)
+	b.backEdges = append(b.backEdges, [2]int{bodyExit, head})
+	after := b.newBlock()
+	b.edge(head, after)
+	return after
+}
+
+// stmtUses returns the variables a straight-line statement reads.
+func stmtUses(s taskir.Stmt) []string {
+	switch st := s.(type) {
+	case *taskir.Assign:
+		return taskir.ExprVars(st.Expr)
+	case *taskir.ComputeScaled:
+		return taskir.ExprVars(st.Units)
+	case *taskir.FeatAdd:
+		return taskir.ExprVars(st.Amount)
+	case *taskir.FeatCall:
+		return taskir.ExprVars(st.Target)
+	}
+	return nil
+}
+
+// termUses returns the variables a block terminator reads when control
+// leaves the block.
+func termUses(s taskir.Stmt) []string {
+	switch st := s.(type) {
+	case *taskir.If:
+		return taskir.ExprVars(st.Cond)
+	case *taskir.While:
+		return taskir.ExprVars(st.Cond)
+	case *taskir.Loop:
+		return taskir.ExprVars(st.Count)
+	case *taskir.Call:
+		return taskir.ExprVars(st.Target)
+	}
+	return nil
+}
+
+func sortedAddrs(funcs map[int64][]taskir.Stmt) []int64 {
+	addrs := make([]int64, 0, len(funcs))
+	for a := range funcs {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/taskir"
+)
+
+// CostBound is a static upper bound on the interpreter work of one job
+// of a program — the paper's §3.4 budget logic subtracts the predictor
+// slice's cost from the job budget, which is only safe if that cost is
+// bounded ahead of time.
+type CostBound struct {
+	// Stmts bounds executed statements (loop bodies included).
+	Stmts float64
+	// Iters bounds loop iterations (each carries LoopIterCostCPU on
+	// top of its body's statements).
+	Iters float64
+}
+
+// Finite reports whether the bound is finite. An unbounded result
+// means some loop count could not be bounded from the supplied
+// variable ranges.
+func (b CostBound) Finite() bool {
+	return !math.IsInf(b.Stmts, 1) && !math.IsInf(b.Iters, 1)
+}
+
+// CPUWork converts the bound into worst-case frequency-dependent CPU
+// work using the interpreter's own cost model. Prediction slices carry
+// no Compute statements, so this covers their entire cost.
+func (b CostBound) CPUWork() float64 {
+	return b.Stmts*taskir.StmtCostCPU + b.Iters*taskir.LoopIterCostCPU
+}
+
+// BoundCost derives an upper bound on the statements and loop
+// iterations one job of p can execute. bounds supplies known ranges
+// for params and globals (e.g. observed profiling input ranges);
+// variables not listed are unbounded. The walk is a structural
+// interval analysis: assignments update ranges, branches join, and
+// loop bodies are analyzed after havocking every variable the body
+// may assign (a sound one-step widening, since a counted Loop
+// evaluates its count exactly once, before the body can change it).
+func BoundCost(p *taskir.Program, bounds map[string]Interval) CostBound {
+	env := map[string]Interval{}
+	for v, iv := range bounds {
+		env[v] = iv
+	}
+	for _, prm := range p.Params {
+		if _, ok := env[prm]; !ok {
+			env[prm] = Top()
+		}
+	}
+	for g := range p.Globals {
+		if _, ok := env[g]; !ok {
+			env[g] = Top()
+		}
+	}
+	return boundBlock(p.Body, env)
+}
+
+// DefaultWhileBound caps While trip counts in the bound, mirroring the
+// interpreter's MaxIter default: execution cannot exceed it without
+// aborting the job.
+const DefaultWhileBound = 100_000
+
+func boundBlock(stmts []taskir.Stmt, env map[string]Interval) CostBound {
+	var b CostBound
+	for _, s := range stmts {
+		b.Stmts++ // every statement charges one interpreter step
+		switch st := s.(type) {
+		case *taskir.Assign:
+			env[st.Dst] = EvalInterval(st.Expr, env)
+		case *taskir.Compute, *taskir.ComputeScaled,
+			*taskir.FeatAdd, *taskir.FeatCall:
+			// Straight-line, no control effect on the bound.
+		case *taskir.If:
+			thenEnv := cloneIntervals(env)
+			tb := boundBlock(st.Then, thenEnv)
+			eb := boundBlock(st.Else, env)
+			b.Stmts += math.Max(tb.Stmts, eb.Stmts)
+			b.Iters += math.Max(tb.Iters, eb.Iters)
+			joinInto(env, thenEnv)
+		case *taskir.Loop:
+			// The count is evaluated once, on entry, before the body
+			// can mutate anything — so its pre-loop interval is exact.
+			count := EvalInterval(st.Count, env)
+			trips := math.Max(0, count.Hi)
+			preEnv := cloneIntervals(env)
+			havocAssigned(st.Body, env)
+			if st.IndexVar != "" {
+				env[st.IndexVar] = Interval{0, math.Max(0, count.Hi-1)}
+			}
+			body := boundBlock(st.Body, env)
+			joinInto(env, preEnv) // zero iterations keep the pre-loop state
+			b.Stmts += mulEnd(trips, body.Stmts)
+			b.Iters += mulEnd(trips, 1+body.Iters)
+		case *taskir.While:
+			trips := float64(st.MaxIter)
+			if st.MaxIter == 0 {
+				trips = DefaultWhileBound
+			}
+			preEnv := cloneIntervals(env)
+			havocAssigned(st.Body, env)
+			if cond := EvalInterval(st.Cond, env); zeroOnly(cond) {
+				trips = 0 // the loop can never be entered
+			}
+			body := boundBlock(st.Body, env)
+			joinInto(env, preEnv)
+			b.Stmts += mulEnd(trips, body.Stmts)
+			b.Iters += mulEnd(trips, 1+body.Iters)
+		case *taskir.Call:
+			var worst CostBound
+			for _, addr := range sortedAddrs(st.Funcs) {
+				fEnv := cloneIntervals(env)
+				fb := boundBlock(st.Funcs[addr], fEnv)
+				worst.Stmts = math.Max(worst.Stmts, fb.Stmts)
+				worst.Iters = math.Max(worst.Iters, fb.Iters)
+				joinInto(env, fEnv)
+			}
+			b.Stmts += worst.Stmts
+			b.Iters += worst.Iters
+		}
+	}
+	return b
+}
+
+// havocAssigned widens every variable the statements may assign to the
+// unbounded interval — sound for loop bodies whose iterations mutate
+// state in ways the structural walk does not track.
+func havocAssigned(stmts []taskir.Stmt, env map[string]Interval) {
+	for _, v := range assignedVars(stmts, nil) {
+		env[v] = Top()
+	}
+}
+
+// assignedVars appends every variable the statements (recursively) may
+// assign, including loop index variables.
+func assignedVars(stmts []taskir.Stmt, dst []string) []string {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *taskir.Assign:
+			dst = append(dst, st.Dst)
+		case *taskir.If:
+			dst = assignedVars(st.Then, dst)
+			dst = assignedVars(st.Else, dst)
+		case *taskir.While:
+			dst = assignedVars(st.Body, dst)
+		case *taskir.Loop:
+			if st.IndexVar != "" {
+				dst = append(dst, st.IndexVar)
+			}
+			dst = assignedVars(st.Body, dst)
+		case *taskir.Call:
+			for _, addr := range sortedAddrs(st.Funcs) {
+				dst = assignedVars(st.Funcs[addr], dst)
+			}
+		}
+	}
+	return dst
+}
+
+func cloneIntervals(env map[string]Interval) map[string]Interval {
+	c := make(map[string]Interval, len(env))
+	for k, v := range env {
+		c[k] = v
+	}
+	return c
+}
+
+// joinInto widens env to cover every state other allows. A variable
+// missing from one side is unset on that path and reads as 0 there
+// (Env.Get's semantics), so the join includes the point 0 for it.
+func joinInto(env map[string]Interval, other map[string]Interval) {
+	for k, ov := range other {
+		if ev, ok := env[k]; ok {
+			env[k] = ev.Join(ov)
+		} else {
+			env[k] = ov.Join(Point(0))
+		}
+	}
+	for k, ev := range env {
+		if _, ok := other[k]; !ok {
+			env[k] = ev.Join(Point(0))
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/taskir"
+)
+
+// Def is a definition site of a variable. Three flavors exist: an
+// Assign statement (Stmt non-nil), a loop index definition at a body
+// head, and the two entry pseudo-definitions — Entry marks params and
+// globals (defined before the job starts), Undef marks the "never
+// assigned" state of every local, which the solver propagates like any
+// other definition so that a use reached by it is a may-read-before-
+// def.
+type Def struct {
+	Var   string
+	Block int
+	// Stmt is the defining Assign; nil for index and pseudo defs.
+	Stmt *taskir.Assign
+	// Entry marks the initial definition of a param or global.
+	Entry bool
+	// Undef marks the undefined-at-entry pseudo definition of a local.
+	Undef bool
+}
+
+// UseSite couples a reading statement with the definitions that may
+// reach it — one entry per (statement, variable) pair.
+type UseSite struct {
+	Var   string
+	Block int
+	// Stmt is the reading statement; for condition/count/target reads
+	// it is the block's control statement.
+	Stmt taskir.Stmt
+	// Defs indexes into ReachingDefs.Defs.
+	Defs []int
+}
+
+// ReachingDefs solves the classical reaching-definitions dataflow
+// problem over a CFG and derives def-use chains and may-undefined
+// reads from the solution.
+type ReachingDefs struct {
+	CFG *CFG
+	// Defs lists every definition site; UseSite.Defs indexes it.
+	Defs []Def
+	// Iterations counts worklist passes until the fixpoint, for tests
+	// that assert termination bounds.
+	Iterations int
+
+	defsOf  map[string][]int // def indexes per variable
+	undefOf map[string]int   // index of the Undef pseudo-def per local
+	in, out []defSet
+}
+
+type defSet map[int]bool
+
+// SolveReachingDefs builds and solves reaching definitions for a
+// program body. entryVars lists the variables defined before the body
+// runs (params and globals).
+func SolveReachingDefs(cfg *CFG, entryVars []string) *ReachingDefs {
+	rd := &ReachingDefs{
+		CFG:     cfg,
+		defsOf:  map[string][]int{},
+		undefOf: map[string]int{},
+	}
+	entry := map[string]bool{}
+	for _, v := range entryVars {
+		entry[v] = true
+	}
+
+	// Enumerate definition sites: entry defs for params/globals, Undef
+	// pseudo-defs for every other variable the body mentions, then the
+	// real defs block by block.
+	addDef := func(d Def) int {
+		id := len(rd.Defs)
+		rd.Defs = append(rd.Defs, d)
+		rd.defsOf[d.Var] = append(rd.defsOf[d.Var], id)
+		return id
+	}
+	for _, v := range sortedVars(entry) {
+		addDef(Def{Var: v, Block: cfg.Entry, Entry: true})
+	}
+	for _, v := range sortedVars(localVars(cfg, entry)) {
+		rd.undefOf[v] = addDef(Def{Var: v, Block: cfg.Entry, Undef: true})
+	}
+	defsInBlock := make([][]int, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		for _, v := range blk.IndexDefs {
+			defsInBlock[blk.ID] = append(defsInBlock[blk.ID], addDef(Def{Var: v, Block: blk.ID}))
+		}
+		for _, s := range blk.Stmts {
+			if as, ok := s.(*taskir.Assign); ok {
+				defsInBlock[blk.ID] = append(defsInBlock[blk.ID], addDef(Def{Var: as.Dst, Block: blk.ID, Stmt: as}))
+			}
+		}
+	}
+
+	// Per-block gen/kill: the last definition of each variable in the
+	// block survives; any definition kills every other def of its var.
+	gen := make([]defSet, len(cfg.Blocks))
+	kill := make([]defSet, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		g, k := defSet{}, defSet{}
+		for _, id := range defsInBlock[blk.ID] {
+			v := rd.Defs[id].Var
+			for _, other := range rd.defsOf[v] {
+				if other != id {
+					k[other] = true
+				}
+				delete(g, other)
+			}
+			g[id] = true
+			delete(k, id)
+		}
+		gen[blk.ID], kill[blk.ID] = g, k
+	}
+	// The entry block (always statement-free, see BuildCFG) generates
+	// the entry and Undef pseudo-defs.
+	for id, d := range rd.Defs {
+		if d.Entry || d.Undef {
+			gen[cfg.Entry][id] = true
+		}
+	}
+
+	// Iterate to the fixpoint with a worklist in block order.
+	rd.in = make([]defSet, len(cfg.Blocks))
+	rd.out = make([]defSet, len(cfg.Blocks))
+	for i := range cfg.Blocks {
+		rd.in[i], rd.out[i] = defSet{}, defSet{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		rd.Iterations++
+		for _, blk := range cfg.Blocks {
+			inS := defSet{}
+			for _, p := range blk.Preds {
+				for id := range rd.out[p] {
+					inS[id] = true
+				}
+			}
+			outS := defSet{}
+			for id := range inS {
+				if !kill[blk.ID][id] {
+					outS[id] = true
+				}
+			}
+			for id := range gen[blk.ID] {
+				outS[id] = true
+			}
+			if !sameSet(rd.out[blk.ID], outS) {
+				changed = true
+			}
+			rd.in[blk.ID], rd.out[blk.ID] = inS, outS
+		}
+	}
+	return rd
+}
+
+// UseSites walks every block from its solved in-state and returns the
+// def-use chains: for each read, the definitions that may reach it.
+func (rd *ReachingDefs) UseSites() []UseSite {
+	var uses []UseSite
+	for _, blk := range rd.CFG.Blocks {
+		// live maps each variable to the def ids currently reaching.
+		live := map[string][]int{}
+		for id := range rd.in[blk.ID] {
+			v := rd.Defs[id].Var
+			live[v] = append(live[v], id)
+		}
+		record := func(s taskir.Stmt, vars []string) {
+			seen := map[string]bool{}
+			for _, v := range vars {
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				ids := append([]int(nil), live[v]...)
+				sort.Ints(ids)
+				uses = append(uses, UseSite{Var: v, Block: blk.ID, Stmt: s, Defs: ids})
+			}
+		}
+		redef := func(id int) {
+			v := rd.Defs[id].Var
+			live[v] = []int{id}
+		}
+		for _, v := range blk.IndexDefs {
+			for _, id := range rd.defsOf[v] {
+				if d := rd.Defs[id]; d.Block == blk.ID && d.Stmt == nil && !d.Entry && !d.Undef {
+					redef(id)
+				}
+			}
+		}
+		for _, s := range blk.Stmts {
+			record(s, stmtUses(s))
+			if as, ok := s.(*taskir.Assign); ok {
+				for _, id := range rd.defsOf[as.Dst] {
+					if rd.Defs[id].Stmt == as {
+						redef(id)
+					}
+				}
+			}
+		}
+		if blk.Term != nil {
+			record(blk.Term, termUses(blk.Term))
+		}
+	}
+	return uses
+}
+
+// UndefRead is a variable read that may execute before any definition
+// of the variable (the interpreter silently yields 0 for it).
+type UndefRead struct {
+	Var string
+	// Stmt is the reading statement.
+	Stmt taskir.Stmt
+}
+
+// MayUndefined returns all reads possibly executed before a definition,
+// deduplicated by (variable, statement), in a deterministic order.
+func (rd *ReachingDefs) MayUndefined() []UndefRead {
+	var out []UndefRead
+	seen := map[taskir.Stmt]map[string]bool{}
+	for _, u := range rd.UseSites() {
+		undefID, isLocal := rd.undefOf[u.Var]
+		if !isLocal {
+			continue
+		}
+		reached := false
+		for _, id := range u.Defs {
+			if id == undefID {
+				reached = true
+				break
+			}
+		}
+		// A use with no reaching defs at all can only mean the variable
+		// never appears as a def anywhere; the Undef pseudo-def covers
+		// that case too, so reached implies the finding.
+		if len(u.Defs) == 0 {
+			reached = true
+		}
+		if !reached {
+			continue
+		}
+		if seen[u.Stmt] == nil {
+			seen[u.Stmt] = map[string]bool{}
+		}
+		if seen[u.Stmt][u.Var] {
+			continue
+		}
+		seen[u.Stmt][u.Var] = true
+		out = append(out, UndefRead{Var: u.Var, Stmt: u.Stmt})
+	}
+	return out
+}
+
+// localVars collects every variable the CFG mentions (reads or
+// defines) that is not entry-defined.
+func localVars(cfg *CFG, entry map[string]bool) map[string]bool {
+	locals := map[string]bool{}
+	add := func(vars []string) {
+		for _, v := range vars {
+			if !entry[v] {
+				locals[v] = true
+			}
+		}
+	}
+	for _, blk := range cfg.Blocks {
+		add(blk.IndexDefs)
+		for _, s := range blk.Stmts {
+			add(stmtUses(s))
+			if as, ok := s.(*taskir.Assign); ok {
+				add([]string{as.Dst})
+			}
+		}
+		if blk.Term != nil {
+			add(termUses(blk.Term))
+		}
+	}
+	return locals
+}
+
+func sortedVars(set map[string]bool) []string {
+	vars := make([]string, 0, len(set))
+	for v := range set {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+func sameSet(a, b defSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/taskir"
+)
+
+// Severity grades a lint finding.
+type Severity int
+
+// Severities. Errors make dvfslint exit non-zero; warnings do not.
+const (
+	SevWarn Severity = iota
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warn"
+}
+
+// Finding is one lint diagnostic.
+type Finding struct {
+	Sev  Severity
+	Code string
+	Msg  string
+}
+
+func (f Finding) String() string { return fmt.Sprintf("%s [%s] %s", f.Sev, f.Code, f.Msg) }
+
+// Lint codes.
+const (
+	// CodeInvalid: Program.Validate rejected the program.
+	CodeInvalid = "invalid"
+	// CodeUndefinedRead: a variable may be read before any definition;
+	// the interpreter silently yields 0 for such reads (Env.Get), so
+	// the program computes with garbage without failing.
+	CodeUndefinedRead = "undefined-read"
+	// CodeUnreachable: statements that no feasible path executes.
+	CodeUnreachable = "unreachable"
+	// CodeUninstrumented: a loop/branch/call site carries no feature
+	// counter — a feature-coverage gap versus the paper's §3.1
+	// instrumentation, leaving the model blind to that control flow.
+	CodeUninstrumented = "uninstrumented"
+	// CodeConstFeature: a feature counter always adds the same
+	// constant, so it cannot distinguish jobs.
+	CodeConstFeature = "const-feature"
+)
+
+// LintOptions configures Lint.
+type LintOptions struct {
+	// CheckCoverage enables uninstrumented-site findings. Enable it
+	// for programs that claim to be instrumented (the output of
+	// instrument.Instrument, or hand-instrumented input); raw task
+	// programs legitimately carry no counters.
+	CheckCoverage bool
+}
+
+// Lint runs every static check over a task program and returns the
+// findings in a deterministic order.
+func Lint(p *taskir.Program, opts LintOptions) []Finding {
+	var out []Finding
+	if err := p.Validate(); err != nil {
+		out = append(out, Finding{Sev: SevError, Code: CodeInvalid, Msg: err.Error()})
+	}
+
+	cfg := BuildCFG(p.Body)
+	entry := entryVarsOf(p)
+
+	rd := SolveReachingDefs(cfg, entry)
+	for _, u := range rd.MayUndefined() {
+		out = append(out, Finding{
+			Sev:  SevError,
+			Code: CodeUndefinedRead,
+			Msg:  fmt.Sprintf("variable %q may be read before definition in %q (reads yield 0)", u.Var, u.Stmt),
+		})
+	}
+
+	cp := SolveConstProp(cfg, entry)
+	for _, s := range cp.Unreachable() {
+		out = append(out, Finding{
+			Sev:  SevWarn,
+			Code: CodeUnreachable,
+			Msg:  fmt.Sprintf("unreachable: %q", s),
+		})
+	}
+	for _, cf := range cp.ConstFeatures() {
+		out = append(out, Finding{
+			Sev:  SevWarn,
+			Code: CodeConstFeature,
+			Msg:  fmt.Sprintf("feature %d always adds the constant %d in %q", cf.Stmt.FID, cf.Value, cf.Stmt),
+		})
+	}
+
+	if opts.CheckCoverage {
+		out = append(out, coverageFindings(p.Body, nil)...)
+	}
+	return out
+}
+
+// coverageFindings checks the instrumentation conventions of
+// internal/instrument (§3.1): counted loops get a hoisted FeatAdd
+// immediately before the loop, while-loops and conditionals count
+// inside the body/then-block, and call sites get a FeatCall
+// immediately before the call. A site satisfying none of the accepted
+// placements is a coverage gap.
+func coverageFindings(stmts []taskir.Stmt, out []Finding) []Finding {
+	gap := func(what string, id int, s taskir.Stmt) {
+		out = append(out, Finding{
+			Sev:  SevError,
+			Code: CodeUninstrumented,
+			Msg:  fmt.Sprintf("%s#%d has no feature counter: %q", what, id, s),
+		})
+	}
+	for i, s := range stmts {
+		var prev taskir.Stmt
+		if i > 0 {
+			prev = stmts[i-1]
+		}
+		switch st := s.(type) {
+		case *taskir.If:
+			if !hasFeatAdd(st.Then) && !isFeatAdd(prev) {
+				gap("if", st.ID, st)
+			}
+			out = coverageFindings(st.Then, out)
+			out = coverageFindings(st.Else, out)
+		case *taskir.While:
+			if !hasFeatAdd(st.Body) && !isFeatAdd(prev) {
+				gap("while", st.ID, st)
+			}
+			out = coverageFindings(st.Body, out)
+		case *taskir.Loop:
+			if !isFeatAdd(prev) && !hasFeatAdd(st.Body) {
+				gap("loop", st.ID, st)
+			}
+			out = coverageFindings(st.Body, out)
+		case *taskir.Call:
+			if _, ok := prev.(*taskir.FeatCall); !ok {
+				gap("call", st.ID, st)
+			}
+			for _, addr := range sortedAddrs(st.Funcs) {
+				out = coverageFindings(st.Funcs[addr], out)
+			}
+		}
+	}
+	return out
+}
+
+func isFeatAdd(s taskir.Stmt) bool {
+	_, ok := s.(*taskir.FeatAdd)
+	return ok
+}
+
+// hasFeatAdd reports whether a FeatAdd appears at the top level of the
+// block (the in-body counter placement).
+func hasFeatAdd(stmts []taskir.Stmt) bool {
+	for _, s := range stmts {
+		if isFeatAdd(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrorCount returns how many findings are errors.
+func ErrorCount(findings []Finding) int {
+	n := 0
+	for _, f := range findings {
+		if f.Sev == SevError {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/instrument"
+	"repro/internal/slicer"
+	"repro/internal/taskir"
+)
+
+// SliceReport is the static evidence VerifySlice gathers about a
+// prediction slice.
+type SliceReport struct {
+	// NeededFIDs is what the model asked for; ComputedFIDs is what the
+	// slice actually updates. Verification requires Computed ⊇ Needed.
+	NeededFIDs, ComputedFIDs []int
+	// GlobalsWritten lists persistent state the slice may write. Such
+	// writes are isolated at run time (Slice.Run freezes the
+	// environment), so they are reported, not rejected; an empty list
+	// means the slice is side-effect free even unfrozen.
+	GlobalsWritten []string
+	// UndefinedReads lists variables the slice may read before any
+	// definition even though the full program always defines them
+	// first — the signature of a slicer bug (a dropped definition
+	// whose use survived).
+	UndefinedReads []string
+	// ComputeStmts counts retained Compute/ComputeScaled statements;
+	// any non-zero count fails verification.
+	ComputeStmts int
+}
+
+// VerifySlice statically checks that a slice extracted from ip is a
+// sound predictor program (paper §3.2): it performs none of the task's
+// actual work, computes a superset of the features the model needs,
+// and never reads a variable whose defining assignment was sliced
+// away. It also classifies the slice's global writes, which Slice.Run
+// must (and does) isolate behind a frozen environment.
+//
+// The returned report is non-nil even on failure, so callers can show
+// what was found; the error aggregates every violated property.
+func VerifySlice(ip *instrument.Program, sl *slicer.Slice) (*SliceReport, error) {
+	eff := ProgramEffect(sl.Prog)
+	rep := &SliceReport{
+		NeededFIDs:     sortedFIDs(sl.NeededFIDs),
+		ComputedFIDs:   eff.FIDsSorted(),
+		GlobalsWritten: eff.WritesSorted(),
+		ComputeStmts:   eff.ComputeStmts,
+	}
+
+	var problems []string
+	if rep.ComputeStmts > 0 {
+		problems = append(problems,
+			fmt.Sprintf("slice retains %d compute statement(s) — it would perform task work", rep.ComputeStmts))
+	}
+
+	computed := map[int]bool{}
+	for _, fid := range rep.ComputedFIDs {
+		computed[fid] = true
+	}
+	var missing []int
+	for _, fid := range rep.NeededFIDs {
+		if !computed[fid] {
+			missing = append(missing, fid)
+		}
+	}
+	if len(missing) > 0 {
+		problems = append(problems,
+			fmt.Sprintf("slice misses needed feature site(s) %v", missing))
+	}
+
+	// A read is only a slicer bug if the slice may see it undefined
+	// where the full program could not: baseline against the
+	// instrumented program so pre-existing may-undefined reads (which
+	// dvfslint flags separately) do not fail slice verification.
+	baseline := map[string]bool{}
+	for _, u := range mayUndefinedOf(ip.Prog) {
+		baseline[u.Var] = true
+	}
+	seen := map[string]bool{}
+	for _, u := range mayUndefinedOf(sl.Prog) {
+		if !baseline[u.Var] && !seen[u.Var] {
+			seen[u.Var] = true
+			rep.UndefinedReads = append(rep.UndefinedReads, u.Var)
+		}
+	}
+	sort.Strings(rep.UndefinedReads)
+	if len(rep.UndefinedReads) > 0 {
+		problems = append(problems,
+			fmt.Sprintf("slice may read %v before any definition (definition sliced away?)", rep.UndefinedReads))
+	}
+
+	if len(problems) > 0 {
+		return rep, fmt.Errorf("analysis: slice of %s fails verification: %s",
+			ip.Prog.Name, strings.Join(problems, "; "))
+	}
+	return rep, nil
+}
+
+// mayUndefinedOf runs reaching definitions on a whole program with its
+// params and globals entry-defined.
+func mayUndefinedOf(p *taskir.Program) []UndefRead {
+	cfg := BuildCFG(p.Body)
+	return SolveReachingDefs(cfg, entryVarsOf(p)).MayUndefined()
+}
+
+func entryVarsOf(p *taskir.Program) []string {
+	entry := make([]string, 0, len(p.Params)+len(p.Globals))
+	entry = append(entry, p.Params...)
+	for g := range p.Globals {
+		entry = append(entry, g)
+	}
+	sort.Strings(entry)
+	return entry
+}
+
+func sortedFIDs(set map[int]bool) []int {
+	fids := make([]int, 0, len(set))
+	for fid := range set {
+		fids = append(fids, fid)
+	}
+	sort.Ints(fids)
+	return fids
+}

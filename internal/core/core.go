@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/dvfs"
 	"repro/internal/features"
 	"repro/internal/governor"
@@ -60,6 +62,15 @@ type Config struct {
 	// "features over some overhead threshold could be explicitly
 	// disallowed".
 	MaxPredictorSec float64
+	// MaxSliceBudgetFrac, when positive, caps the slice's *static
+	// worst-case* execution time at maximum frequency to this fraction
+	// of the workload's budget, using internal/analysis loop-bound
+	// intervals over the observed profiling input ranges. Where
+	// MaxPredictorSec trims by measured average cost, this bound makes
+	// §3.4's predictor-overhead subtraction safe against the worst
+	// job: a slice whose bound exceeds the cap has features dropped
+	// until it fits, and Build fails if no slice can fit.
+	MaxSliceBudgetFrac float64
 	// Quadratic extends the model with squared counter features —
 	// §3.5's "higher-order ... models may provide better accuracy"
 	// option. The paper found "relatively little gain" for its
@@ -132,6 +143,14 @@ type Controller struct {
 	// quadCols lists schema column indices whose squares are appended
 	// as extra features (empty unless Config.Quadratic).
 	quadCols []int
+	// SliceBound is the static worst-case cost bound of the final
+	// slice over the observed profiling input ranges, and
+	// SliceBoundSec its execution time at maximum frequency —
+	// math.Inf(1) when a loop bound could not be derived. Loaded
+	// controllers (persist) leave both zero.
+	SliceBound analysis.CostBound
+	// SliceBoundSec is SliceBound converted to seconds at fmax.
+	SliceBoundSec float64
 }
 
 var _ governor.Governor = (*Controller)(nil)
@@ -227,63 +246,152 @@ func Build(w *workload.Workload, cfg Config) (*Controller, error) {
 	// removal shrinks the slice most, retrain on the surviving
 	// columns, and re-slice.
 	if cfg.MaxPredictorSec > 0 && !cfg.KeepAllFeatures {
-		allowed := map[int]bool{}
-		for fid := range need {
-			allowed[fid] = true
-		}
-		Xmask := prof.X
-		for len(allowed) > 0 {
-			cost := measureSliceCost(w, sl, cfg)
-			if cost <= cfg.MaxPredictorSec {
-				break
-			}
-			// Find the removal with the cheapest resulting slice.
-			bestFID, bestCost := -1, math.Inf(1)
-			for fid := range allowed {
-				cand := map[int]bool{}
-				for f := range allowed {
-					if f != fid {
-						cand[f] = true
-					}
-				}
-				c := measureSliceCost(w, slicer.Extract(ip, cand), cfg)
-				if c < bestCost {
-					bestFID, bestCost = fid, c
-				}
-			}
-			delete(allowed, bestFID)
-			// Retrain with the dropped feature's columns zeroed out.
-			Xmask = maskColumns(Xmask, schema, allowed)
-			if modelMin, err = regress.Fit(Xmask, prof.TimesMin, opts); err != nil {
-				return nil, fmt.Errorf("core: retraining fmin model for %s: %w", w.Name, err)
-			}
-			if modelMax, err = regress.Fit(Xmask, prof.TimesMax, opts); err != nil {
-				return nil, fmt.Errorf("core: retraining fmax model for %s: %w", w.Name, err)
-			}
-			selected := append(modelMin.Selected(), modelMax.Selected()...)
-			need = schema.NeededFIDs(selected)
-			for fid := range need {
-				if !allowed[fid] {
-					delete(need, fid)
-				}
-			}
-			sl = slicer.Extract(ip, need)
+		measured := func(sl *slicer.Slice) float64 { return measureSliceCost(w, sl, cfg) }
+		sl, need, modelMin, modelMax, err = trimToCap(w, ip, schema, prof, opts,
+			sl, need, modelMin, modelMax, measured, cfg.MaxPredictorSec)
+		if err != nil {
+			return nil, err
 		}
 	}
 
+	// Static worst-case overhead cap: bound the slice's statement
+	// executions from loop-bound intervals over the observed profiling
+	// input ranges, and trim features until the bound fits the
+	// configured fraction of the task budget. Unlike the measured cap
+	// above, this holds for the worst job the profiled input ranges
+	// admit, not just the average — which is what makes subtracting
+	// the predictor's cost from the budget (§3.4) safe.
+	paramBounds := observedParamBounds(paramSets)
+	staticCost := func(sl *slicer.Slice) float64 {
+		b := analysis.BoundCost(sl.Prog, paramBounds)
+		if !b.Finite() {
+			return math.Inf(1)
+		}
+		return cfg.Plat.JobTimeAt(b.CPUWork(), 0, cfg.Plat.MaxLevel())
+	}
+	if cfg.MaxSliceBudgetFrac > 0 && !cfg.KeepAllFeatures && w.DefaultBudgetSec > 0 {
+		budgetCap := cfg.MaxSliceBudgetFrac * w.DefaultBudgetSec
+		sl, need, modelMin, modelMax, err = trimToCap(w, ip, schema, prof, opts,
+			sl, need, modelMin, modelMax, staticCost, budgetCap)
+		if err != nil {
+			return nil, err
+		}
+		if c := staticCost(sl); c > budgetCap {
+			return nil, fmt.Errorf("core: %s slice worst-case overhead %.3gs exceeds %.0f%% of the %.3gs budget",
+				w.Name, c, 100*cfg.MaxSliceBudgetFrac, w.DefaultBudgetSec)
+		}
+	}
+
+	// Gate: a slice must verify before it may reach a governor. The
+	// slicer is an approximation (name-based dependences); the
+	// verifier proves the properties the run-time relies on — no
+	// retained work, all needed feature sites computed, no read of a
+	// sliced-away definition.
+	if _, err := analysis.VerifySlice(ip, sl); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", w.Name, err)
+	}
+	bound := analysis.BoundCost(sl.Prog, paramBounds)
+	boundSec := math.Inf(1)
+	if bound.Finite() {
+		boundSec = cfg.Plat.JobTimeAt(bound.CPUWork(), 0, cfg.Plat.MaxLevel())
+	}
+
 	return &Controller{
-		W:        w,
-		Plat:     cfg.Plat,
-		Instr:    ip,
-		Slice:    sl,
-		Schema:   schema,
-		ModelMin: modelMin,
-		ModelMax: modelMax,
-		Selector: &dvfs.Selector{Plat: cfg.Plat, Switch: cfg.Switch, Margin: cfg.Margin, EnergyAware: cfg.EnergyAware},
-		Prof:     prof,
-		hints:    hints,
-		quadCols: quadCols,
+		W:             w,
+		Plat:          cfg.Plat,
+		Instr:         ip,
+		Slice:         sl,
+		Schema:        schema,
+		ModelMin:      modelMin,
+		ModelMax:      modelMax,
+		Selector:      &dvfs.Selector{Plat: cfg.Plat, Switch: cfg.Switch, Margin: cfg.Margin, EnergyAware: cfg.EnergyAware},
+		Prof:          prof,
+		hints:         hints,
+		quadCols:      quadCols,
+		SliceBound:    bound,
+		SliceBoundSec: boundSec,
 	}, nil
+}
+
+// trimToCap implements overhead-capped feature selection shared by the
+// measured (§3.5) and static-bound caps: while cost(slice) exceeds the
+// cap, drop the feature whose removal yields the cheapest slice,
+// retrain both models on the surviving columns, and re-slice. The
+// candidate scan is in sorted FID order so ties break
+// deterministically.
+func trimToCap(w *workload.Workload, ip *instrument.Program, schema *features.Schema,
+	prof *Profile, opts regress.Options, sl *slicer.Slice, need map[int]bool,
+	modelMin, modelMax *regress.Model, cost func(*slicer.Slice) float64, cap float64,
+) (*slicer.Slice, map[int]bool, *regress.Model, *regress.Model, error) {
+	allowed := map[int]bool{}
+	for fid := range need {
+		allowed[fid] = true
+	}
+	Xmask := prof.X
+	for len(allowed) > 0 {
+		if cost(sl) <= cap {
+			break
+		}
+		// Find the removal with the cheapest resulting slice.
+		bestFID, bestCost := -1, math.Inf(1)
+		for _, fid := range sortedFIDs(allowed) {
+			cand := map[int]bool{}
+			for f := range allowed {
+				if f != fid {
+					cand[f] = true
+				}
+			}
+			if c := cost(slicer.Extract(ip, cand)); c < bestCost {
+				bestFID, bestCost = fid, c
+			}
+		}
+		delete(allowed, bestFID)
+		// Retrain with the dropped feature's columns zeroed out.
+		Xmask = maskColumns(Xmask, schema, allowed)
+		var err error
+		if modelMin, err = regress.Fit(Xmask, prof.TimesMin, opts); err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("core: retraining fmin model for %s: %w", w.Name, err)
+		}
+		if modelMax, err = regress.Fit(Xmask, prof.TimesMax, opts); err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("core: retraining fmax model for %s: %w", w.Name, err)
+		}
+		selected := append(modelMin.Selected(), modelMax.Selected()...)
+		need = schema.NeededFIDs(selected)
+		for fid := range need {
+			if !allowed[fid] {
+				delete(need, fid)
+			}
+		}
+		sl = slicer.Extract(ip, need)
+	}
+	return sl, need, modelMin, modelMax, nil
+}
+
+// sortedFIDs returns the set's members in ascending order.
+func sortedFIDs(set map[int]bool) []int {
+	fids := make([]int, 0, len(set))
+	for fid := range set {
+		fids = append(fids, fid)
+	}
+	sort.Ints(fids)
+	return fids
+}
+
+// observedParamBounds derives per-parameter value intervals from the
+// profiling inputs — the ranges the static cost bound is taken over.
+// Globals are left unbounded (they drift across jobs).
+func observedParamBounds(paramSets []map[string]int64) map[string]analysis.Interval {
+	bounds := map[string]analysis.Interval{}
+	for _, params := range paramSets {
+		for name, v := range params {
+			if iv, ok := bounds[name]; ok {
+				bounds[name] = iv.Join(analysis.Point(v))
+			} else {
+				bounds[name] = analysis.Point(v)
+			}
+		}
+	}
+	return bounds
 }
 
 // measureSliceCost returns the slice's average execution time at

@@ -346,3 +346,62 @@ func TestLoadControllerRejectsMismatches(t *testing.T) {
 		t.Error("corrupt document accepted")
 	}
 }
+
+func TestMaxSliceBudgetFracEnforcesStaticCap(t *testing.T) {
+	w := workload.LDecode()
+	base := buildLDecode(t)
+	if !base.SliceBound.Finite() || base.SliceBoundSec <= 0 {
+		t.Fatalf("base static bound not usable: %+v (%.3g s)", base.SliceBound, base.SliceBoundSec)
+	}
+
+	// A generous cap must not change the slice, only record the bound.
+	loose, err := Build(w, Config{ProfileSeed: 42, MaxSliceBudgetFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Slice.SliceStmts != base.Slice.SliceStmts {
+		t.Errorf("generous cap changed the slice: %d vs %d stmts",
+			loose.Slice.SliceStmts, base.Slice.SliceStmts)
+	}
+	if loose.SliceBoundSec > 0.5*w.DefaultBudgetSec {
+		t.Errorf("bound %.3g s exceeds accepted cap %.3g s",
+			loose.SliceBoundSec, 0.5*w.DefaultBudgetSec)
+	}
+
+	// A cap below the base worst case must force feature trimming, and
+	// the surviving slice must honour it.
+	frac := 0.5 * base.SliceBoundSec / w.DefaultBudgetSec
+	tight, err := Build(w, Config{ProfileSeed: 42, MaxSliceBudgetFrac: frac})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Slice.SliceStmts >= base.Slice.SliceStmts {
+		t.Errorf("tight cap did not shrink the slice: %d vs %d stmts",
+			tight.Slice.SliceStmts, base.Slice.SliceStmts)
+	}
+	if cap := frac * w.DefaultBudgetSec; tight.SliceBoundSec > cap {
+		t.Errorf("trimmed slice bound %.3g s still above cap %.3g s", tight.SliceBoundSec, cap)
+	}
+}
+
+func TestSliceBoundCoversObservedPredictorCost(t *testing.T) {
+	// The static bound is taken over the profiled input ranges, so any
+	// job drawn from the same generator must cost no more than it.
+	c := buildLDecode(t)
+	if !c.SliceBound.Finite() {
+		t.Skip("no finite bound for this workload")
+	}
+	w := c.W
+	gen := w.NewGen(42) // the profiling seed: inputs inside the observed ranges
+	globals := w.FreshGlobals()
+	for i := 0; i < 50; i++ {
+		wk, err := c.Slice.Run(globals, gen.Next(i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := c.Plat.JobTimeAt(wk.CPU, wk.MemSec, c.Plat.MaxLevel())
+		if cost > c.SliceBoundSec+1e-12 {
+			t.Fatalf("job %d: predictor cost %.3g s exceeds static bound %.3g s", i, cost, c.SliceBoundSec)
+		}
+	}
+}

@@ -35,6 +35,21 @@ type Slice struct {
 	// instrumented program and the slice (slice size reduction).
 	FullStmts  int
 	SliceStmts int
+	// Stats records how the extraction behaved, for diagnostics and
+	// for tests that bound the fixpoint.
+	Stats Stats
+}
+
+// Stats are per-extraction statistics. The fixpoint iterates while the
+// needed-variable set grows, so FixpointIters can never exceed the
+// number of distinct variables plus one final stable pass — tests
+// assert that bound on random programs.
+type Stats struct {
+	// FixpointIters counts full re-slicing passes until the
+	// needed-variable set stopped growing.
+	FixpointIters int
+	// VarsKept is the size of the final needed-variable set.
+	VarsKept int
 }
 
 // Extract builds the prediction slice of ip that computes exactly the
@@ -52,7 +67,9 @@ func Extract(ip *instrument.Program, need map[int]bool) *Slice {
 	// the accumulated variable set, which handles loop-carried and
 	// cross-branch dependences conservatively.
 	var body []taskir.Stmt
+	iters := 0
 	for {
+		iters++
 		before := len(sl.vars)
 		body = sl.block(ip.Prog.Body)
 		if len(sl.vars) == before {
@@ -66,6 +83,7 @@ func Extract(ip *instrument.Program, need map[int]bool) *Slice {
 		Prog:       prog,
 		NeededFIDs: need,
 		FullStmts:  ip.Prog.StmtCount(),
+		Stats:      Stats{FixpointIters: iters, VarsKept: len(sl.vars)},
 	}
 	out.SliceStmts = prog.StmtCount()
 	return out

@@ -415,3 +415,79 @@ func TestSliceWhileLoopEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// distinctVars counts every variable name a program can mention —
+// params, globals, assignment targets, loop indices, and expression
+// operands — the universe the slicer's needed-variable set draws from.
+func distinctVars(p *taskir.Program) int {
+	vars := map[string]bool{}
+	for _, v := range p.Params {
+		vars[v] = true
+	}
+	for g := range p.Globals {
+		vars[g] = true
+	}
+	addExpr := func(e taskir.Expr) {
+		for _, v := range taskir.ExprVars(e) {
+			vars[v] = true
+		}
+	}
+	var walk func(stmts []taskir.Stmt)
+	walk = func(stmts []taskir.Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *taskir.Assign:
+				vars[st.Dst] = true
+				addExpr(st.Expr)
+			case *taskir.ComputeScaled:
+				addExpr(st.Units)
+			case *taskir.If:
+				addExpr(st.Cond)
+				walk(st.Then)
+				walk(st.Else)
+			case *taskir.While:
+				addExpr(st.Cond)
+				walk(st.Body)
+			case *taskir.Loop:
+				if st.IndexVar != "" {
+					vars[st.IndexVar] = true
+				}
+				addExpr(st.Count)
+				walk(st.Body)
+			case *taskir.Call:
+				addExpr(st.Target)
+				for _, b := range st.Funcs {
+					walk(b)
+				}
+			case *taskir.FeatAdd:
+				addExpr(st.Amount)
+			case *taskir.FeatCall:
+				addExpr(st.Target)
+			}
+		}
+	}
+	walk(p.Body)
+	return len(vars)
+}
+
+// The extraction fixpoint grows a monotone variable set, so it must
+// converge within |vars|+1 passes (each non-final pass adds at least
+// one variable; the last pass is the stable one). Verify the bound —
+// and that Stats reports it — over a large randprog sample.
+func TestExtractFixpointBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 300; trial++ {
+		p := taskir.RandomProgram(rng)
+		ip := instrument.Instrument(p)
+		sl := Extract(ip, nil)
+		limit := distinctVars(ip.Prog) + 1
+		if sl.Stats.FixpointIters < 1 || sl.Stats.FixpointIters > limit {
+			t.Fatalf("trial %d: %d fixpoint iterations, want 1..%d\n%s",
+				trial, sl.Stats.FixpointIters, limit, taskir.Format(ip.Prog))
+		}
+		if sl.Stats.VarsKept > distinctVars(ip.Prog) {
+			t.Fatalf("trial %d: kept %d vars, program only has %d",
+				trial, sl.Stats.VarsKept, distinctVars(ip.Prog))
+		}
+	}
+}

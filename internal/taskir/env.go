@@ -19,6 +19,12 @@ type Env struct {
 	// isolation for prediction slices (§3.2): the slice takes local
 	// copies of any globals it writes.
 	frozen bool
+	// undefReads, when non-nil, records every name read before any
+	// definition (see TrackReads). Get keeps returning zero for such
+	// reads so existing behavior is unchanged; the record lets the
+	// analysis layer and dvfslint surface reads that Validate's linear
+	// walk cannot prove defined.
+	undefReads map[string]bool
 }
 
 // NewEnv creates an environment whose global layer holds the program's
@@ -46,16 +52,51 @@ func (e *Env) Freeze() { e.frozen = true }
 func (e *Env) Frozen() bool { return e.frozen }
 
 // Get returns the value of name, preferring the local layer. Unset
-// variables read as zero (the interpreter's Validate pass catches
-// genuinely undefined reads in task programs).
+// variables read as zero; GetChecked distinguishes that case, and
+// TrackReads records it for later inspection.
 func (e *Env) Get(name string) int64 {
+	v, _ := e.GetChecked(name)
+	return v
+}
+
+// GetChecked returns the value of name and whether it has ever been
+// defined (as a param, global, or prior assignment). When read
+// tracking is enabled, undefined reads are recorded.
+func (e *Env) GetChecked(name string) (int64, bool) {
 	if v, ok := e.locals[name]; ok {
-		return v
+		return v, true
 	}
 	if v, ok := e.globals[name]; ok {
-		return v
+		return v, true
 	}
-	return 0
+	if e.undefReads != nil {
+		e.undefReads[name] = true
+	}
+	return 0, false
+}
+
+// TrackReads enables recording of undefined-variable reads. The
+// recorded set accumulates across jobs (ResetLocals keeps it);
+// UndefinedReads returns it.
+func (e *Env) TrackReads() {
+	if e.undefReads == nil {
+		e.undefReads = map[string]bool{}
+	}
+}
+
+// UndefinedReads returns the sorted set of names read before any
+// definition since TrackReads was enabled. Nil when tracking is off
+// and no undefined read occurred.
+func (e *Env) UndefinedReads() []string {
+	if len(e.undefReads) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(e.undefReads))
+	for n := range e.undefReads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Set assigns name. Global names write through to the global layer

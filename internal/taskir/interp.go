@@ -46,17 +46,20 @@ type FeatureRecorder interface {
 // flow and counter updates — has a realistic, control-flow-proportional
 // execution time, as in the paper's measured predictor overheads
 // (Fig 17: ~3 ms average, ~24 ms for pocketsphinx).
+// They are exported so internal/analysis can turn a static bound on
+// executed statements into a worst-case CPU-work bound with the same
+// cost model the interpreter charges.
 const (
-	// stmtOverheadCPU is charged per executed statement. An IR
+	// StmtCostCPU is charged per executed statement. An IR
 	// statement stands for a handful of source statements (address
 	// computation, loads, the operation itself), so the charge is on
 	// the order of a hundred cycles; this is what gives prediction
 	// slices their control-flow-proportional, sub-millisecond-to-
 	// millisecond cost (Fig 17).
-	stmtOverheadCPU = 150.0
-	// loopIterOverheadCPU is charged per loop iteration on top of the
+	StmtCostCPU = 150.0
+	// LoopIterCostCPU is charged per loop iteration on top of the
 	// body's statements (index update + branch).
-	loopIterOverheadCPU = 50.0
+	LoopIterCostCPU = 50.0
 )
 
 // ErrStepLimit reports that a job exceeded the interpreter step budget,
@@ -97,7 +100,7 @@ type interp struct {
 
 func (in *interp) step() error {
 	in.work.Stmts++
-	in.work.CPU += stmtOverheadCPU
+	in.work.CPU += StmtCostCPU
 	in.remaining--
 	if in.remaining < 0 {
 		return ErrStepLimit
@@ -143,7 +146,7 @@ func (in *interp) stmt(s Stmt) error {
 			if i >= maxIter {
 				return fmt.Errorf("taskir: while#%d exceeded %d iterations", st.ID, maxIter)
 			}
-			in.work.CPU += loopIterOverheadCPU
+			in.work.CPU += LoopIterCostCPU
 			if err := in.block(st.Body); err != nil {
 				return err
 			}
@@ -151,7 +154,7 @@ func (in *interp) stmt(s Stmt) error {
 	case *Loop:
 		n := st.Count.Eval(in.env)
 		for i := int64(0); i < n; i++ {
-			in.work.CPU += loopIterOverheadCPU
+			in.work.CPU += LoopIterCostCPU
 			if st.IndexVar != "" {
 				in.env.Set(st.IndexVar, i)
 			}

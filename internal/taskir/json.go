@@ -1,0 +1,296 @@
+package taskir
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// JSON program encoding. Tools operate on task programs as data —
+// dvfslint lints a program file, test fixtures craft malformed
+// programs — so the IR needs a stable serialized form. Statements are
+// tagged by a "kind" field; expressions are tagged by which field is
+// set ("const", "var", "op", "not"). The encoding is total: every
+// construct the IR can express round-trips.
+
+// MarshalProgram renders p as indented JSON.
+func MarshalProgram(p *Program) ([]byte, error) {
+	jp := progJSON{
+		Name:    p.Name,
+		Params:  p.Params,
+		Globals: p.Globals,
+		Body:    stmtsToJSON(p.Body),
+	}
+	return json.MarshalIndent(jp, "", "  ")
+}
+
+// UnmarshalProgram parses a program from its JSON form. The result is
+// structurally checked only as far as decoding requires; callers run
+// Validate (or the analysis passes) for semantic checks.
+func UnmarshalProgram(data []byte) (*Program, error) {
+	var jp progJSON
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return nil, fmt.Errorf("taskir: decoding program: %w", err)
+	}
+	body, err := stmtsFromJSON(jp.Body)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Name:    jp.Name,
+		Params:  jp.Params,
+		Globals: jp.Globals,
+		Body:    body,
+	}
+	if p.Globals == nil {
+		p.Globals = map[string]int64{}
+	}
+	return p, nil
+}
+
+type progJSON struct {
+	Name    string           `json:"name"`
+	Params  []string         `json:"params,omitempty"`
+	Globals map[string]int64 `json:"globals,omitempty"`
+	Body    []stmtJSON       `json:"body"`
+}
+
+type stmtJSON struct {
+	Kind string `json:"kind"`
+
+	// Assign
+	Dst  string    `json:"dst,omitempty"`
+	Expr *exprJSON `json:"expr,omitempty"`
+
+	// Compute / ComputeScaled
+	Label    string    `json:"label,omitempty"`
+	Work     float64   `json:"work,omitempty"`
+	MemNS    float64   `json:"memNS,omitempty"`
+	WorkPer  float64   `json:"workPer,omitempty"`
+	MemNSPer float64   `json:"memNSPer,omitempty"`
+	Units    *exprJSON `json:"units,omitempty"`
+
+	// Control flow
+	ID       int                   `json:"id,omitempty"`
+	Cond     *exprJSON             `json:"cond,omitempty"`
+	Then     []stmtJSON            `json:"then,omitempty"`
+	Else     []stmtJSON            `json:"else,omitempty"`
+	Count    *exprJSON             `json:"count,omitempty"`
+	IndexVar string                `json:"indexVar,omitempty"`
+	Body     []stmtJSON            `json:"body,omitempty"`
+	MaxIter  int64                 `json:"maxIter,omitempty"`
+	Target   *exprJSON             `json:"target,omitempty"`
+	Funcs    map[string][]stmtJSON `json:"funcs,omitempty"`
+
+	// Feature statements
+	FID    int       `json:"fid,omitempty"`
+	Amount *exprJSON `json:"amount,omitempty"`
+}
+
+type exprJSON struct {
+	Const *int64    `json:"const,omitempty"`
+	Var   string    `json:"var,omitempty"`
+	Op    string    `json:"op,omitempty"`
+	L     *exprJSON `json:"l,omitempty"`
+	R     *exprJSON `json:"r,omitempty"`
+	Not   *exprJSON `json:"not,omitempty"`
+}
+
+func stmtsToJSON(stmts []Stmt) []stmtJSON {
+	out := make([]stmtJSON, 0, len(stmts))
+	for _, s := range stmts {
+		out = append(out, stmtToJSON(s))
+	}
+	return out
+}
+
+func stmtToJSON(s Stmt) stmtJSON {
+	switch st := s.(type) {
+	case *Assign:
+		return stmtJSON{Kind: "assign", Dst: st.Dst, Expr: exprToJSON(st.Expr)}
+	case *Compute:
+		return stmtJSON{Kind: "compute", Label: st.Label, Work: st.Work, MemNS: st.MemNS}
+	case *ComputeScaled:
+		return stmtJSON{Kind: "computeScaled", Label: st.Label,
+			WorkPer: st.WorkPer, MemNSPer: st.MemNSPer, Units: exprToJSON(st.Units)}
+	case *If:
+		return stmtJSON{Kind: "if", ID: st.ID, Cond: exprToJSON(st.Cond),
+			Then: stmtsToJSON(st.Then), Else: stmtsToJSON(st.Else)}
+	case *While:
+		return stmtJSON{Kind: "while", ID: st.ID, Cond: exprToJSON(st.Cond),
+			Body: stmtsToJSON(st.Body), MaxIter: st.MaxIter}
+	case *Loop:
+		return stmtJSON{Kind: "loop", ID: st.ID, Count: exprToJSON(st.Count),
+			IndexVar: st.IndexVar, Body: stmtsToJSON(st.Body)}
+	case *Call:
+		funcs := make(map[string][]stmtJSON, len(st.Funcs))
+		for a, b := range st.Funcs {
+			funcs[strconv.FormatInt(a, 10)] = stmtsToJSON(b)
+		}
+		return stmtJSON{Kind: "call", ID: st.ID, Target: exprToJSON(st.Target), Funcs: funcs}
+	case *FeatAdd:
+		return stmtJSON{Kind: "featAdd", FID: st.FID, Amount: exprToJSON(st.Amount)}
+	case *FeatCall:
+		return stmtJSON{Kind: "featCall", FID: st.FID, Target: exprToJSON(st.Target)}
+	default:
+		panic(fmt.Sprintf("taskir: cannot encode statement type %T", s))
+	}
+}
+
+func stmtsFromJSON(js []stmtJSON) ([]Stmt, error) {
+	if len(js) == 0 {
+		return nil, nil
+	}
+	out := make([]Stmt, 0, len(js))
+	for i := range js {
+		s, err := stmtFromJSON(&js[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func stmtFromJSON(j *stmtJSON) (Stmt, error) {
+	switch j.Kind {
+	case "assign":
+		e, err := exprFromJSON(j.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Dst: j.Dst, Expr: e}, nil
+	case "compute":
+		return &Compute{Label: j.Label, Work: j.Work, MemNS: j.MemNS}, nil
+	case "computeScaled":
+		u, err := exprFromJSON(j.Units)
+		if err != nil {
+			return nil, err
+		}
+		return &ComputeScaled{Label: j.Label, WorkPer: j.WorkPer, MemNSPer: j.MemNSPer, Units: u}, nil
+	case "if":
+		cond, err := exprFromJSON(j.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := stmtsFromJSON(j.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := stmtsFromJSON(j.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &If{ID: j.ID, Cond: cond, Then: then, Else: els}, nil
+	case "while":
+		cond, err := exprFromJSON(j.Cond)
+		if err != nil {
+			return nil, err
+		}
+		body, err := stmtsFromJSON(j.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &While{ID: j.ID, Cond: cond, Body: body, MaxIter: j.MaxIter}, nil
+	case "loop":
+		count, err := exprFromJSON(j.Count)
+		if err != nil {
+			return nil, err
+		}
+		body, err := stmtsFromJSON(j.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &Loop{ID: j.ID, Count: count, IndexVar: j.IndexVar, Body: body}, nil
+	case "call":
+		target, err := exprFromJSON(j.Target)
+		if err != nil {
+			return nil, err
+		}
+		funcs := make(map[int64][]Stmt, len(j.Funcs))
+		for k, b := range j.Funcs {
+			addr, err := strconv.ParseInt(k, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("taskir: bad call address %q: %w", k, err)
+			}
+			body, err := stmtsFromJSON(b)
+			if err != nil {
+				return nil, err
+			}
+			funcs[addr] = body
+		}
+		return &Call{ID: j.ID, Target: target, Funcs: funcs}, nil
+	case "featAdd":
+		amount, err := exprFromJSON(j.Amount)
+		if err != nil {
+			return nil, err
+		}
+		return &FeatAdd{FID: j.FID, Amount: amount}, nil
+	case "featCall":
+		target, err := exprFromJSON(j.Target)
+		if err != nil {
+			return nil, err
+		}
+		return &FeatCall{FID: j.FID, Target: target}, nil
+	default:
+		return nil, fmt.Errorf("taskir: unknown statement kind %q", j.Kind)
+	}
+}
+
+func exprToJSON(e Expr) *exprJSON {
+	switch x := e.(type) {
+	case Const:
+		v := int64(x)
+		return &exprJSON{Const: &v}
+	case Var:
+		return &exprJSON{Var: string(x)}
+	case *Bin:
+		return &exprJSON{Op: opNames[x.Op], L: exprToJSON(x.L), R: exprToJSON(x.R)}
+	case *Not:
+		return &exprJSON{Not: exprToJSON(x.X)}
+	default:
+		panic(fmt.Sprintf("taskir: cannot encode expression type %T", e))
+	}
+}
+
+// opByName is the inverse of opNames, built once at init.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+func exprFromJSON(j *exprJSON) (Expr, error) {
+	switch {
+	case j == nil:
+		return nil, fmt.Errorf("taskir: missing expression")
+	case j.Const != nil:
+		return Const(*j.Const), nil
+	case j.Var != "":
+		return Var(j.Var), nil
+	case j.Not != nil:
+		x, err := exprFromJSON(j.Not)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	case j.Op != "":
+		op, ok := opByName[j.Op]
+		if !ok {
+			return nil, fmt.Errorf("taskir: unknown operator %q", j.Op)
+		}
+		l, err := exprFromJSON(j.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := exprFromJSON(j.R)
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: op, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("taskir: empty expression node")
+	}
+}

@@ -131,7 +131,7 @@ func TestRunAccountsComputeWork(t *testing.T) {
 		},
 	}
 	w := mustRun(t, p, NewEnv(p.Globals), nil)
-	wantCPU := 3000 + 2*stmtOverheadCPU
+	wantCPU := 3000 + 2*StmtCostCPU
 	if math.Abs(w.CPU-wantCPU) > 1e-9 {
 		t.Errorf("CPU = %g, want %g", w.CPU, wantCPU)
 	}
@@ -168,7 +168,7 @@ func TestRunLoopAndIf(t *testing.T) {
 	if w.Stmts != 9 {
 		t.Errorf("Stmts = %d, want 9", w.Stmts)
 	}
-	wantCPU := 9*stmtOverheadCPU + 5*loopIterOverheadCPU + 30
+	wantCPU := 9*StmtCostCPU + 5*LoopIterCostCPU + 30
 	if math.Abs(w.CPU-wantCPU) > 1e-9 {
 		t.Errorf("CPU = %g, want %g", w.CPU, wantCPU)
 	}
@@ -501,7 +501,7 @@ func TestWhileLoop(t *testing.T) {
 	if w.Stmts != 12 {
 		t.Errorf("Stmts = %d, want 12", w.Stmts)
 	}
-	if w.CPU != 12*stmtOverheadCPU+5*loopIterOverheadCPU+50 {
+	if w.CPU != 12*StmtCostCPU+5*LoopIterCostCPU+50 {
 		t.Errorf("CPU = %g", w.CPU)
 	}
 }
