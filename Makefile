@@ -1,7 +1,7 @@
 # Local mirror of .github/workflows/ci.yml: `make check` runs the
 # exact gate CI enforces.
 
-.PHONY: check fmt vet build test lint bench
+.PHONY: check fmt vet build test lint bench serve-bench
 
 check: fmt vet build test lint
 
@@ -25,3 +25,18 @@ lint:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Serving benchmark: start dvfsd, train through the API, replay a job
+# stream, write BENCH_serve.json. Tunables: SERVE_JOBS, SERVE_CONNS.
+SERVE_ADDR  ?= 127.0.0.1:8090
+SERVE_JOBS  ?= 2000
+SERVE_CONNS ?= 16
+
+serve-bench:
+	go build -o bin/dvfsd ./cmd/dvfsd
+	go build -o bin/dvfsload ./cmd/dvfsload
+	@./bin/dvfsd -addr $(SERVE_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	./bin/dvfsload -addr http://$(SERVE_ADDR) -workload ldecode -train \
+		-jobs $(SERVE_JOBS) -conns $(SERVE_CONNS) -json BENCH_serve.json; \
+	status=$$?; kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; exit $$status

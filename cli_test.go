@@ -62,6 +62,88 @@ func TestCLIProfileSaveSimLoad(t *testing.T) {
 	}
 }
 
+// failCLI runs a command expecting a non-zero exit and returns its
+// combined output.
+func failCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go run %v unexpectedly succeeded:\n%s", args, out)
+	}
+	return string(out)
+}
+
+// Every binary must reject an unknown workload name up front, exit
+// non-zero, and (for the profiling/simulation tools) print the flag
+// usage so the caller sees the valid spellings.
+func TestCLIRejectsUnknownWorkloadUpFront(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	tests := []struct {
+		name      string
+		args      []string
+		wantUsage bool
+	}{
+		{"dvfsprofile", []string{"./cmd/dvfsprofile", "-workload", "nope"}, true},
+		{"dvfssim", []string{"./cmd/dvfssim", "-workload", "nope"}, true},
+		{"dvfslint", []string{"./cmd/dvfslint", "-workload", "nope"}, false},
+		{"dvfsload", []string{"./cmd/dvfsload", "-workload", "nope"}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			out := failCLI(t, tc.args...)
+			if !strings.Contains(out, "unknown benchmark") {
+				t.Errorf("missing unknown-benchmark error:\n%s", out)
+			}
+			if tc.wantUsage && !strings.Contains(out, "-workload") {
+				t.Errorf("missing usage text:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestCLIDvfssimRejectsBadGovernorAndPlatform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := failCLI(t, "./cmd/dvfssim", "-governor", "warp-speed")
+	if !strings.Contains(out, "unknown governor") || !strings.Contains(out, "-governor") {
+		t.Errorf("bad governor output:\n%s", out)
+	}
+	out = failCLI(t, "./cmd/dvfssim", "-platform", "quantum")
+	if !strings.Contains(out, "unknown platform") {
+		t.Errorf("bad platform output:\n%s", out)
+	}
+}
+
+func TestCLIDvfsdRejectsBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := failCLI(t, "./cmd/dvfsd", "-platform", "quantum")
+	if !strings.Contains(out, "unknown platform") {
+		t.Errorf("bad platform output:\n%s", out)
+	}
+	out = failCLI(t, "./cmd/dvfsd", "-preload", "nope")
+	if !strings.Contains(out, "unknown benchmark") {
+		t.Errorf("bad preload output:\n%s", out)
+	}
+}
+
+func TestCLIDvfsloadFailsWithoutDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	// Port 9 (discard) is never a dvfsd; the health wait must time out
+	// and the exit must be non-zero.
+	out := failCLI(t, "./cmd/dvfsload", "-addr", "http://127.0.0.1:9", "-workload", "sha", "-wait", "300ms")
+	if !strings.Contains(out, "not healthy") {
+		t.Errorf("missing health-wait error:\n%s", out)
+	}
+}
+
 func TestCLIDvfslintCleanOnSeedWorkloads(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns the go tool")

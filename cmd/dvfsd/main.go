@@ -1,0 +1,140 @@
+// Command dvfsd is the model-serving daemon: it owns a registry of
+// trained DVFS controllers (the §4.2 "distribute the trained model"
+// artifacts) and answers prediction queries over HTTP — the online
+// half of an offline-train / online-query service.
+//
+// Usage:
+//
+//	dvfsd -addr 127.0.0.1:8090 -data ./models [-platform a7]
+//	      [-workers 2] [-queue 16] [-max-inflight 256] [-timeout 30s]
+//
+// Endpoints: POST /v1/models/{name} (train, or ?mode=upload),
+// GET /v1/models, POST /v1/predict, POST /v1/predict/batch,
+// GET /healthz, GET /metrics (Prometheus text format).
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener drains
+// in-flight requests, then the registry drains in-flight builds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address")
+	data := flag.String("data", "", "model persistence directory (empty = in-memory only)")
+	platName := flag.String("platform", "a7", "platform model: a7, x86, biglittle")
+	workers := flag.Int("workers", 2, "concurrent model builds")
+	queue := flag.Int("queue", 16, "queued model builds before 503")
+	maxInflight := flag.Int("max-inflight", 256, "concurrent requests before shedding with 429")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	seed := flag.Int64("seed", 1, "seed for switch-table measurement")
+	preload := flag.String("preload", "", "comma-separated workloads to train at startup")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if err := run(*addr, *data, *platName, *workers, *queue, *maxInflight, *timeout, *seed, *preload, log); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsd:", err)
+		if errors.Is(err, errUsage) {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// errUsage marks validation errors that warrant the usage text.
+var errUsage = errors.New("invalid usage")
+
+func run(addr, data, platName string, workers, queue, maxInflight int, timeout time.Duration, seed int64, preload string, log *slog.Logger) error {
+	// Validate everything up front: a daemon must not come up half
+	// configured.
+	plat, err := platform.ByName(platName)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	var preloads []string
+	if preload != "" {
+		for _, name := range strings.Split(preload, ",") {
+			name = strings.TrimSpace(name)
+			if _, err := workload.ByName(name); err != nil {
+				return fmt.Errorf("%w: -preload: %v", errUsage, err)
+			}
+			preloads = append(preloads, name)
+		}
+	}
+
+	metrics := serve.NewMetrics()
+	reg, err := serve.NewRegistry(serve.RegistryOptions{
+		Dir:        data,
+		Plat:       plat,
+		Workers:    workers,
+		QueueDepth: queue,
+		Seed:       seed,
+		Log:        log,
+		Observe: func(name string, sec float64, err error) {
+			metrics.ObserveBuild(sec, err)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(reg, serve.ServerOptions{
+		Log:            log,
+		Metrics:        metrics,
+		RequestTimeout: timeout,
+		MaxInflight:    maxInflight,
+	})
+	for _, name := range preloads {
+		if _, _, err := reg.Train(name, serve.TrainConfig{Seed: seed}); err != nil {
+			return fmt.Errorf("preloading %s: %w", name, err)
+		}
+		log.Info("preload queued", "name", name)
+	}
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Info("dvfsd listening", "addr", addr, "platform", plat.Name, "data", data)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		reg.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Info("shutting down: draining requests and builds")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		log.Error("listener shutdown", "err", err)
+	}
+	reg.Close()
+	log.Info("dvfsd stopped")
+	return nil
+}

@@ -29,6 +29,14 @@ func main() {
 	dumpSlice := flag.Bool("dump-slice", false, "print the generated prediction slice as pseudo-source")
 	flag.Parse()
 
+	// Validate inputs up front: an unknown benchmark is a usage error
+	// (exit 2 with the flag summary), not a late runtime failure.
+	if _, err := workload.ByName(*wName); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsprofile:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if err := run(*wName, *alpha, *gamma, *jobs, *seed, *out, *dumpSlice); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsprofile:", err)
 		os.Exit(1)

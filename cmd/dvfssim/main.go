@@ -35,10 +35,35 @@ func main() {
 	platName := flag.String("platform", "a7", "platform model: a7, x86, biglittle")
 	flag.Parse()
 
+	// Validate inputs up front: unknown benchmark / governor / platform
+	// names are usage errors (exit 2 with the flag summary), caught
+	// before any profiling or simulation work starts.
+	usageErr := func(err error) {
+		fmt.Fprintln(os.Stderr, "dvfssim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if _, err := workload.ByName(*wName); err != nil {
+		usageErr(err)
+	}
+	if _, err := platform.ByName(*platName); err != nil {
+		usageErr(err)
+	}
+	if !validGovernors[*gName] {
+		usageErr(fmt.Errorf("unknown governor %q (have: performance, powersave, interactive, ondemand, movingavg, pid, prediction, oracle)", *gName))
+	}
+
 	if err := run(*wName, *gName, *budget, *jobs, *seed, *idle, *csvPath, *jsonPath, *modelPath, *platName); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfssim:", err)
 		os.Exit(1)
 	}
+}
+
+// validGovernors mirrors experiments.Suite.Governor's dispatch table.
+var validGovernors = map[string]bool{
+	"performance": true, "powersave": true, "interactive": true,
+	"ondemand": true, "movingavg": true, "pid": true,
+	"prediction": true, "oracle": true,
 }
 
 func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, csvPath, jsonPath, modelPath, platName string) error {
@@ -46,16 +71,9 @@ func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, c
 	if err != nil {
 		return err
 	}
-	var plat *platform.Platform
-	switch platName {
-	case "a7":
-		plat = platform.ODROIDXU3A7()
-	case "x86":
-		plat = platform.IntelI7()
-	case "biglittle":
-		plat = platform.BigLITTLE()
-	default:
-		return fmt.Errorf("unknown platform %q (have: a7, x86, biglittle)", platName)
+	plat, err := platform.ByName(platName)
+	if err != nil {
+		return err
 	}
 	suite := experiments.NewSuiteOn(plat, seed)
 	var g governor.Governor

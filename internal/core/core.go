@@ -463,9 +463,69 @@ func noiseFactor(rng *rand.Rand, sigma float64) float64 {
 // Name implements governor.Governor.
 func (*Controller) Name() string { return "prediction" }
 
+// Prediction is the run-time model output for one job: the chosen
+// level plus the intermediate quantities a caller (or a serving
+// client) may want to inspect.
+type Prediction struct {
+	// Target is the selected DVFS level.
+	Target platform.Level
+	// TFminSec and TFmaxSec are the predicted job times at the
+	// platform's minimum and maximum frequencies (clamped non-negative,
+	// with the tfmin ≥ tfmax noise guard applied).
+	TFminSec, TFmaxSec float64
+	// EffBudgetSec is the effective budget after subtracting the
+	// predictor's own cost (§3.4).
+	EffBudgetSec float64
+	// PredictorSec echoes the predictor cost charged against the
+	// budget.
+	PredictorSec float64
+	// PredictedExecSec is the un-margined expected execution time at
+	// Target (the Fig 19 analysis quantity).
+	PredictedExecSec float64
+}
+
+// PredictTrace evaluates the trained models on an already-recorded
+// feature trace and picks the level for a job with the given remaining
+// budget, predictor cost, and current level. This is the run-time
+// decision shared by JobStart (which records the trace by running the
+// prediction slice) and the dvfsd serving path (which receives the
+// trace over the wire).
+//
+// PredictTrace only reads the controller's trained state (schema,
+// models, selector), so it is safe for concurrent use from any number
+// of goroutines.
+func (c *Controller) PredictTrace(tr *features.Trace, params map[string]int64, budgetSec, predictorSec float64, cur platform.Level) Prediction {
+	x := appendQuadValues(appendHintValues(c.Schema.Vectorize(tr), c.hints, params), c.quadCols)
+	tfmin := math.Max(0, c.ModelMin.Predict(x))
+	tfmax := math.Max(0, c.ModelMax.Predict(x))
+	if tfmin < tfmax {
+		tfmin = tfmax // noise guard: time at fmin can never be shorter
+	}
+
+	eff := budgetSec - predictorSec
+	target := c.Selector.Pick(cur, tfmin, tfmax, eff)
+
+	// Record the un-margined expectation at the chosen level for the
+	// prediction-error analysis (Fig 19).
+	tp := dvfs.Solve(tfmin, tfmax, c.Plat.MinLevel().EffFreqHz(), c.Plat.MaxLevel().EffFreqHz())
+	return Prediction{
+		Target:           target,
+		TFminSec:         tfmin,
+		TFmaxSec:         tfmax,
+		EffBudgetSec:     eff,
+		PredictorSec:     predictorSec,
+		PredictedExecSec: tp.TimeAt(target.EffFreqHz()),
+	}
+}
+
 // JobStart implements governor.Governor: run the prediction slice,
 // predict execution times at fmin/fmax, and pick the lowest frequency
 // whose (margin-inflated) predicted time fits the effective budget.
+//
+// JobStart is safe for concurrent use as long as callers do not mutate
+// job.Globals or job.Params during the call: the slice runs in a
+// frozen environment (globals are read, never written), the trace is
+// per-call, and PredictTrace reads only immutable trained state.
 func (c *Controller) JobStart(job *governor.Job, cur platform.Level) governor.Decision {
 	tr := features.NewTrace()
 	sw, err := c.Slice.Run(job.Globals, job.Params, tr)
@@ -476,23 +536,11 @@ func (c *Controller) JobStart(job *governor.Job, cur platform.Level) governor.De
 	}
 	predictorSec := c.Plat.JobTimeAt(sw.CPU, sw.MemSec, cur)
 
-	x := appendQuadValues(appendHintValues(c.Schema.Vectorize(tr), c.hints, job.Params), c.quadCols)
-	tfmin := math.Max(0, c.ModelMin.Predict(x))
-	tfmax := math.Max(0, c.ModelMax.Predict(x))
-	if tfmin < tfmax {
-		tfmin = tfmax // noise guard: time at fmin can never be shorter
-	}
-
-	eff := job.RemainingBudgetSec - predictorSec
-	target := c.Selector.Pick(cur, tfmin, tfmax, eff)
-
-	// Record the un-margined expectation at the chosen level for the
-	// prediction-error analysis (Fig 19).
-	tp := dvfs.Solve(tfmin, tfmax, c.Plat.MinLevel().EffFreqHz(), c.Plat.MaxLevel().EffFreqHz())
+	p := c.PredictTrace(tr, job.Params, job.RemainingBudgetSec, predictorSec, cur)
 	return governor.Decision{
-		Target:           target,
-		PredictorSec:     predictorSec,
-		PredictedExecSec: tp.TimeAt(target.EffFreqHz()),
+		Target:           p.Target,
+		PredictorSec:     p.PredictorSec,
+		PredictedExecSec: p.PredictedExecSec,
 	}
 }
 

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// savedDoc renders the controller's distribution JSON as a generic map
+// so individual tests can corrupt one field at a time.
+func savedDoc(t *testing.T, c *Controller) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveController(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func encodeDoc(t *testing.T, doc map[string]any) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// LoadController must reject every malformed distribution document
+// with an error — never a panic and never a silently broken
+// controller.
+func TestLoadControllerErrorPaths(t *testing.T) {
+	w := workload.SHA()
+	c, err := Build(w, Config{ProfileJobs: 60, ProfileSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := SaveController(&valid, c); err != nil {
+		t.Fatal(err)
+	}
+	plat := c.Plat
+
+	tests := []struct {
+		name    string
+		input   func(t *testing.T) string
+		wantErr string
+	}{
+		{
+			name:    "empty input",
+			input:   func(*testing.T) string { return "" },
+			wantErr: "decoding model",
+		},
+		{
+			name: "truncated JSON",
+			input: func(*testing.T) string {
+				s := valid.String()
+				return s[:len(s)/2]
+			},
+			wantErr: "decoding model",
+		},
+		{
+			name:    "not JSON at all",
+			input:   func(*testing.T) string { return "model coefficients go here" },
+			wantErr: "decoding model",
+		},
+		{
+			name: "unknown version",
+			input: func(t *testing.T) string {
+				doc := savedDoc(t, c)
+				doc["version"] = 99
+				return encodeDoc(t, doc)
+			},
+			wantErr: "unsupported model version",
+		},
+		{
+			name: "wrong workload",
+			input: func(t *testing.T) string {
+				doc := savedDoc(t, c)
+				doc["workload"] = "ldecode"
+				return encodeDoc(t, doc)
+			},
+			wantErr: `model is for "ldecode"`,
+		},
+		{
+			name: "wrong platform",
+			input: func(t *testing.T) string {
+				doc := savedDoc(t, c)
+				doc["platform"] = "x86-i7"
+				return encodeDoc(t, doc)
+			},
+			wantErr: "cannot drive",
+		},
+		{
+			name: "feature-schema mismatch: truncated coefficients",
+			input: func(t *testing.T) string {
+				doc := savedDoc(t, c)
+				m := doc["model_fmin"].(map[string]any)
+				coef := m["coef"].([]any)
+				m["coef"] = coef[:len(coef)-1]
+				return encodeDoc(t, doc)
+			},
+			wantErr: "coefficients",
+		},
+		{
+			name: "feature-schema mismatch: extra column",
+			input: func(t *testing.T) string {
+				doc := savedDoc(t, c)
+				cols := doc["columns"].([]any)
+				doc["columns"] = append(cols, map[string]any{
+					"kind": 0, "fid": 9999, "name": "loop#9999",
+				})
+				return encodeDoc(t, doc)
+			},
+			wantErr: "coefficients",
+		},
+		{
+			name: "undeclared hint",
+			input: func(t *testing.T) string {
+				doc := savedDoc(t, c)
+				doc["hints"] = []any{"noSuchParam"}
+				// Pad the coefficient vectors so the dimension check
+				// passes and the hint check is what fires.
+				for _, key := range []string{"model_fmin", "model_fmax"} {
+					m := doc[key].(map[string]any)
+					m["coef"] = append(m["coef"].([]any), 0.5)
+				}
+				return encodeDoc(t, doc)
+			},
+			wantErr: "hint",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadController(strings.NewReader(tc.input(t)), w, plat, nil)
+			if err == nil {
+				t.Fatal("malformed model accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// The untouched document must still load.
+	if _, err := LoadController(bytes.NewReader(valid.Bytes()), w, plat, nil); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+}

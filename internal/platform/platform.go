@@ -178,6 +178,20 @@ func IntelI7() *Platform {
 	return p
 }
 
+// ByName returns a platform model by its CLI short name — the mapping
+// shared by dvfssim, dvfsd, and the experiment drivers.
+func ByName(name string) (*Platform, error) {
+	switch name {
+	case "a7":
+		return ODROIDXU3A7(), nil
+	case "x86":
+		return IntelI7(), nil
+	case "biglittle":
+		return BigLITTLE(), nil
+	}
+	return nil, fmt.Errorf("platform: unknown platform %q (have: a7, x86, biglittle)", name)
+}
+
 // NumLevels returns the number of DVFS levels.
 func (p *Platform) NumLevels() int { return len(p.Levels) }
 

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveRequest("predict", 200, 0.002)
+	m.ObserveRequest("predict", 200, 0.004)
+	m.ObserveRequest("predict", 400, 0.001)
+	m.ObserveRequest("models_put", 200, 1.5)
+	m.ObserveBuild(1.5, nil)
+	m.ObserveDecision("ldecode", 3)
+	m.ObserveDecision("ldecode", 3)
+	m.ObserveDecision("ldecode", 12)
+	m.ObserveShed()
+	m.SetModelsReady(2)
+
+	var b strings.Builder
+	if _, err := m.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`dvfsd_requests_total{route="models_put",code="200"} 1`,
+		`dvfsd_requests_total{route="predict",code="200"} 2`,
+		`dvfsd_requests_total{route="predict",code="400"} 1`,
+		`dvfsd_request_duration_seconds_bucket{route="predict",le="0.0025"} 2`,
+		`dvfsd_request_duration_seconds_bucket{route="predict",le="+Inf"} 3`,
+		`dvfsd_request_duration_seconds_count{route="predict"} 3`,
+		`dvfsd_build_duration_seconds_count 1`,
+		`dvfsd_build_failures_total 0`,
+		`dvfsd_decisions_total{model="ldecode",level="12"} 1`,
+		`dvfsd_decisions_total{model="ldecode",level="3"} 2`,
+		`dvfsd_shed_total 1`,
+		`dvfsd_inflight_requests 0`,
+		`dvfsd_models_ready 2`,
+		`# TYPE dvfsd_requests_total counter`,
+		`# TYPE dvfsd_request_duration_seconds histogram`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.observe(v)
+	}
+	if h.n != 4 {
+		t.Fatalf("n=%d", h.n)
+	}
+	// counts: ≤1:1, ≤2:1, ≤4:1, +Inf:1
+	for i, want := range []int64{1, 1, 1, 1} {
+		if h.counts[i] != want {
+			t.Errorf("bucket %d: %d want %d", i, h.counts[i], want)
+		}
+	}
+	// A value exactly on a bound lands in that bound's bucket (le is
+	// inclusive in Prometheus).
+	h2 := newHistogram([]float64{1, 2})
+	h2.observe(1)
+	if h2.counts[0] != 1 {
+		t.Errorf("boundary value not in le=1 bucket: %v", h2.counts)
+	}
+}

@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// ServerOptions configures NewServer. The zero value of each field
+// selects a production-reasonable default.
+type ServerOptions struct {
+	// Log receives structured request logs; nil discards them.
+	Log *slog.Logger
+	// Metrics receives request/decision observations; nil allocates a
+	// private registry.
+	Metrics *Metrics
+	// RequestTimeout bounds each /v1/ request via context; 0 → 30s.
+	// Synchronous train requests degrade to 202 Accepted when the
+	// build outlives the timeout (the build itself keeps running).
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently served /v1/ requests; excess
+	// load is shed with 429 + Retry-After. 0 → 256.
+	MaxInflight int
+	// MaxBatch bounds jobs per batch request; 0 → 1024.
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies; 0 → 8 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the dvfsd HTTP front end: routing, per-request timeouts,
+// load shedding, metrics, and structured logs around a Registry.
+type Server struct {
+	reg     *Registry
+	log     *slog.Logger
+	metrics *Metrics
+	timeout time.Duration
+	sem     chan struct{}
+	maxB    int
+	maxBody int64
+	mux     *http.ServeMux
+}
+
+// NewServer wires the HTTP API around a registry.
+func NewServer(reg *Registry, opts ServerOptions) *Server {
+	if opts.Log == nil {
+		opts.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = NewMetrics()
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 30 * time.Second
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 256
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 1024
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{
+		reg:     reg,
+		log:     opts.Log,
+		metrics: opts.Metrics,
+		timeout: opts.RequestTimeout,
+		sem:     make(chan struct{}, opts.MaxInflight),
+		maxB:    opts.MaxBatch,
+		maxBody: opts.MaxBodyBytes,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/models", s.guard("models_list", s.handleListModels))
+	s.mux.HandleFunc("POST /v1/models/{name}", s.guard("models_put", s.handleModelPut))
+	s.mux.HandleFunc("POST /v1/predict", s.guard("predict", s.handlePredict))
+	s.mux.HandleFunc("POST /v1/predict/batch", s.guard("predict_batch", s.handlePredictBatch))
+	return s
+}
+
+// Metrics returns the server's metrics registry (cmd/dvfsd shares it
+// with the registry's build observer).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// statusWriter records the response status and size for logs/metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// guard wraps an API handler with the production plumbing: concurrency
+// limiting (shed with 429 + Retry-After), a per-request timeout
+// context, body size limits, metrics, and a structured request log.
+func (s *Server) guard(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			sw.Header().Set("Retry-After", "1")
+			writeJSON(sw, http.StatusTooManyRequests, ErrorResponse{Error: "server at capacity"})
+			s.metrics.ObserveShed()
+			s.finish(route, r, sw, t0)
+			return
+		}
+		s.metrics.AddInflight(1)
+		defer s.metrics.AddInflight(-1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.maxBody)
+		}
+		h(sw, r)
+		s.finish(route, r, sw, t0)
+	}
+}
+
+func (s *Server) finish(route string, r *http.Request, sw *statusWriter, t0 time.Time) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	dur := time.Since(t0)
+	s.metrics.ObserveRequest(route, sw.status, dur.Seconds())
+	s.log.Info("request",
+		"route", route,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.status,
+		"dur_ms", float64(dur.Microseconds())/1000,
+		"bytes", sw.bytes,
+		"remote", r.RemoteAddr,
+	)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", ModelsReady: s.reg.Ready()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.SetModelsReady(s.reg.Ready())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = s.metrics.WriteTo(w)
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ListResponse{Models: s.reg.List()})
+}
+
+// handleModelPut trains (default) or uploads (?mode=upload) a model.
+func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "upload":
+		st, err := s.reg.Upload(name, r.Body)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case "", "train":
+		var tc TrainConfig
+		if err := decodeBody(r, &tc, true); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		f, st, err := s.reg.Train(name, tc)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+			return
+		case errors.Is(err, ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+			return
+		case err != nil:
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		if tc.Async {
+			writeJSON(w, http.StatusAccepted, st)
+			return
+		}
+		done, completed := f.Wait(r.Context())
+		if !completed {
+			// The build outlived the request timeout; it keeps running
+			// — report the current state.
+			st, _ := s.reg.Status(name)
+			writeJSON(w, http.StatusAccepted, st)
+			return
+		}
+		if done.State != StateReady {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: done.Error})
+			return
+		}
+		writeJSON(w, http.StatusOK, done)
+	default:
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unknown mode %q (use train or upload)", mode)})
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := decodeBody(r, &req, false); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	resp, err := s.predictOne(req.Model, req.PredictJob)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(r, &req, false); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "batch has no jobs"})
+		return
+	}
+	if len(req.Jobs) > s.maxB {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Jobs), s.maxB)})
+		return
+	}
+	resp := BatchResponse{Model: req.Model, Results: make([]PredictResponse, len(req.Jobs))}
+	for i, job := range req.Jobs {
+		one, err := s.predictOne(req.Model, job)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("job %d: %v", i, err)})
+			return
+		}
+		resp.Results[i] = one
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// predictOne runs the shared run-time decision (the same
+// core.Controller.PredictTrace the simulator's JobStart uses) on a
+// wire-encoded trace.
+func (s *Server) predictOne(model string, job PredictJob) (PredictResponse, error) {
+	ctl, err := s.reg.Get(model)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	tr, err := job.Features.Trace()
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	plat := ctl.Plat
+	cur := plat.MaxLevel()
+	if job.Level != nil {
+		idx := *job.Level
+		if idx < 0 || idx >= len(plat.Levels) {
+			return PredictResponse{}, fmt.Errorf("serve: level %d out of range [0,%d)", idx, len(plat.Levels))
+		}
+		cur = plat.Levels[idx]
+	}
+	budget := job.BudgetSec
+	if budget == 0 {
+		budget = ctl.W.DefaultBudgetSec
+	}
+	if budget < 0 || job.PredictorSec < 0 {
+		return PredictResponse{}, fmt.Errorf("serve: negative budget or predictor cost")
+	}
+	p := ctl.PredictTrace(tr, job.Params, budget, job.PredictorSec, cur)
+	s.metrics.ObserveDecision(model, p.Target.Index)
+	return PredictResponse{
+		Model:            model,
+		Level:            p.Target.Index,
+		FreqKHz:          int64(p.Target.FreqHz / 1e3),
+		TFminSec:         p.TFminSec,
+		TFmaxSec:         p.TFmaxSec,
+		EffBudgetSec:     p.EffBudgetSec,
+		PredictedExecSec: p.PredictedExecSec,
+	}, nil
+}
+
+// decodeBody parses a JSON request body. allowEmpty accepts an empty
+// body as the zero value (train with defaults).
+func decodeBody(r *http.Request, v any, allowEmpty bool) error {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return fmt.Errorf("reading body: %w", err)
+	}
+	if len(data) == 0 {
+		if allowEmpty {
+			return nil
+		}
+		return fmt.Errorf("empty request body")
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("parsing body: %w", err)
+	}
+	return nil
+}
