@@ -1,7 +1,7 @@
 # Local mirror of .github/workflows/ci.yml: `make check` runs the
 # exact gate CI enforces.
 
-.PHONY: check fmt vet build test lint bench serve-bench
+.PHONY: check fmt vet build test lint bench serve-bench obs-bench trace-smoke
 
 check: fmt vet build test lint
 
@@ -25,6 +25,21 @@ lint:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Decision-path instrumentation budget: §3.4 charges the predictor's
+# cost against every job's budget, so tracing must stay well under
+# 1 µs/event amortized. Fails if BenchmarkTracerEmit exceeds 1000 ns/op.
+obs-bench:
+	@go test -run '^$$' -bench BenchmarkTracerEmit -benchmem ./internal/obs | tee /tmp/obs-bench.out
+	@awk '/BenchmarkTracerEmit/ { if ($$3+0 >= 1000) { \
+		printf "obs-bench: %s ns/op exceeds the 1000 ns/op budget\n", $$3; exit 1 } \
+		else printf "obs-bench: %s ns/op within the 1 us/event budget\n", $$3 }' /tmp/obs-bench.out
+
+# Observability smoke: simulate with a decision log, then analyze it.
+trace-smoke:
+	go run ./cmd/dvfssim -workload sha -governor prediction -jobs 100 -trace /tmp/trace-smoke.jsonl
+	go run ./cmd/dvfstrace -input /tmp/trace-smoke.jsonl
+	go run ./cmd/dvfstrace -input /tmp/trace-smoke.jsonl -format json > /dev/null
 
 # Serving benchmark: start dvfsd, train through the API, replay a job
 # stream, write BENCH_serve.json. Tunables: SERVE_JOBS, SERVE_CONNS.

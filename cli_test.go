@@ -144,6 +144,73 @@ func TestCLIDvfsloadFailsWithoutDaemon(t *testing.T) {
 	}
 }
 
+// dvfstrace failure paths: missing input, unreadable input, unknown
+// format, and unknown flags are all usage errors (exit 2 + usage).
+func TestCLIDvfstraceRejectsBadUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing input", []string{"./cmd/dvfstrace"}, "-input is required"},
+		{"unreadable input", []string{"./cmd/dvfstrace", "-input", "/nonexistent/x.jsonl"}, "no such file"},
+		{"unknown format", []string{"./cmd/dvfstrace", "-input", "x", "-format", "xml"}, "unknown format"},
+		{"unknown flag", []string{"./cmd/dvfstrace", "-frobnicate"}, "flag provided but not defined"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			out := failCLI(t, tc.args...)
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("missing %q:\n%s", tc.want, out)
+			}
+			if !strings.Contains(out, "-input") {
+				t.Errorf("missing usage text:\n%s", out)
+			}
+		})
+	}
+}
+
+// The shared logging flags are validated up front in every binary.
+func TestCLIRejectsBadLogFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	for _, tool := range []string{"dvfssim", "dvfsprofile", "dvfsbench", "dvfslint", "dvfsload", "dvfsd", "dvfstrace"} {
+		t.Run(tool, func(t *testing.T) {
+			out := failCLI(t, "./cmd/"+tool, "-log-level", "loud")
+			if !strings.Contains(out, "unknown log level") {
+				t.Errorf("missing log-level error:\n%s", out)
+			}
+		})
+	}
+}
+
+// End-to-end observability round trip: simulate with -trace, then
+// analyze the JSONL log with dvfstrace in both output formats.
+func TestCLISimTraceIntoDvfstrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	log := t.TempDir() + "/dec.jsonl"
+	out := runCLI(t, "./cmd/dvfssim", "-workload", "sha", "-governor", "prediction", "-jobs", "40", "-trace", log)
+	if !strings.Contains(out, "decisions  "+log) {
+		t.Errorf("sim did not report the decision log:\n%s", out)
+	}
+	out = runCLI(t, "./cmd/dvfstrace", "-input", log)
+	for _, want := range []string{"events      40 (40 completed, 40 with predictions)", "workloads   sha", "level", "residual"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	out = runCLI(t, "./cmd/dvfstrace", "-input", log, "-format", "json")
+	if !strings.Contains(out, `"events": 40`) || !strings.Contains(out, `"levels"`) {
+		t.Errorf("json report:\n%s", out)
+	}
+}
+
 func TestCLIDvfslintCleanOnSeedWorkloads(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns the go tool")

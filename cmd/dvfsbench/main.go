@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/workload"
 )
@@ -28,8 +29,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (results are deterministic per seed)")
 	exp := flag.String("exp", "all", "experiment to run (comma separated), or 'all'")
 	bench := flag.String("workload", "", "restrict fig16 to one benchmark (default: all)")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
+	if _, err := logFlags.Logger(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsbench:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	s := experiments.NewSuite(*seed)
 	wanted := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {

@@ -10,7 +10,9 @@
 //
 // Endpoints: POST /v1/models/{name} (train, or ?mode=upload),
 // GET /v1/models, POST /v1/predict, POST /v1/predict/batch,
-// GET /healthz, GET /metrics (Prometheus text format).
+// GET /healthz, GET /metrics (Prometheus text format), and — unless
+// -debug=false — GET /debug/decisions (recent decision events as
+// JSON) plus the net/http/pprof handlers under /debug/pprof/.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener drains
 // in-flight requests, then the registry drains in-flight builds.
@@ -29,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -44,10 +47,18 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	seed := flag.Int64("seed", 1, "seed for switch-table measurement")
 	preload := flag.String("preload", "", "comma-separated workloads to train at startup")
+	tracePath := flag.String("trace", "", "append decision events as JSONL to this path (dvfstrace reads it)")
+	debug := flag.Bool("debug", true, "serve /debug/decisions and /debug/pprof/")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	if err := run(*addr, *data, *platName, *workers, *queue, *maxInflight, *timeout, *seed, *preload, log); err != nil {
+	log, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsd:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, *data, *platName, *workers, *queue, *maxInflight, *timeout, *seed, *preload, *tracePath, *debug, log); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsd:", err)
 		if errors.Is(err, errUsage) {
 			flag.Usage()
@@ -60,7 +71,7 @@ func main() {
 // errUsage marks validation errors that warrant the usage text.
 var errUsage = errors.New("invalid usage")
 
-func run(addr, data, platName string, workers, queue, maxInflight int, timeout time.Duration, seed int64, preload string, log *slog.Logger) error {
+func run(addr, data, platName string, workers, queue, maxInflight int, timeout time.Duration, seed int64, preload, tracePath string, debug bool, log *slog.Logger) error {
 	// Validate everything up front: a daemon must not come up half
 	// configured.
 	plat, err := platform.ByName(platName)
@@ -79,6 +90,33 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 	}
 
 	metrics := serve.NewMetrics()
+
+	// Decision tracing: the ring always backs /debug/decisions; a
+	// JSONL sink is attached when -trace names a file. The drift
+	// monitor watches completed events (residuals arrive only from
+	// co-located controllers; served predictions run client-side) and
+	// flips dvfsd_model_stale on the shared /metrics page.
+	var sinks []obs.Sink
+	if tracePath != "" {
+		f, err := os.OpenFile(tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening -trace file: %w", err)
+		}
+		defer f.Close()
+		sinks = append(sinks, obs.NewJSONLSink(f))
+	}
+	drift := obs.NewDriftMonitor(obs.DriftConfig{
+		Log: log,
+		StaleGauge: metrics.Registry().GaugeVec("dvfsd_model_stale",
+			"1 when a model's recent under-prediction rate exceeds the trained quantile.", "workload"),
+	})
+	tracer := obs.NewTracer(obs.TracerOptions{Sinks: sinks, Drift: drift})
+	defer func() {
+		if err := tracer.Close(); err != nil {
+			log.Error("closing decision trace", "err", err)
+		}
+	}()
+
 	reg, err := serve.NewRegistry(serve.RegistryOptions{
 		Dir:        data,
 		Plat:       plat,
@@ -98,6 +136,8 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 		Metrics:        metrics,
 		RequestTimeout: timeout,
 		MaxInflight:    maxInflight,
+		Tracer:         tracer,
+		EnableDebug:    debug,
 	})
 	for _, name := range preloads {
 		if _, _, err := reg.Train(name, serve.TrainConfig{Seed: seed}); err != nil {

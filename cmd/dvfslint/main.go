@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/instrument"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/slicer"
 	"repro/internal/taskir"
@@ -37,8 +38,14 @@ func main() {
 	nRand := flag.Int("rand", 0, "lint this many generated random programs")
 	seed := flag.Int64("seed", 1, "seed for -rand")
 	jobs := flag.Int("jobs", 5, "jobs per workload for the run-time undefined-read check")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
+	if _, err := logFlags.Logger(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfslint:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *wName == "" && *file == "" && *nRand == 0 {
 		flag.Usage()
 		os.Exit(2)

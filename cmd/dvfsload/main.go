@@ -21,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -37,9 +38,15 @@ func main() {
 	trainJobs := flag.Int("train-jobs", 0, "profiling jobs for -train (0 = workload default)")
 	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the daemon to become healthy")
 	jsonPath := flag.String("json", "", "write the report JSON to this path")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
-	// Validate the workload before touching the network.
+	// Validate flags and workload before touching the network.
+	if _, err := logFlags.Logger(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsload:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if _, err := workload.ByName(*wName); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsload:", err)
 		flag.Usage()

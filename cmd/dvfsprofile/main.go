@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/regress"
 	"repro/internal/taskir"
 	"repro/internal/workload"
@@ -27,10 +28,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("o", "", "write the trained model as JSON (the paper's distribute-with-the-program format, §4.2)")
 	dumpSlice := flag.Bool("dump-slice", false, "print the generated prediction slice as pseudo-source")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
-	// Validate inputs up front: an unknown benchmark is a usage error
-	// (exit 2 with the flag summary), not a late runtime failure.
+	// Validate inputs up front: an unknown benchmark or log flag is a
+	// usage error (exit 2 with the flag summary), not a late runtime
+	// failure.
+	if _, err := logFlags.Logger(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsprofile:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if _, err := workload.ByName(*wName); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsprofile:", err)
 		flag.Usage()

@@ -6,6 +6,7 @@
 //
 //	dvfssim -workload ldecode -governor prediction [-budget 0.05]
 //	        [-jobs 300] [-seed 1] [-idle] [-csv trace.csv] [-json sum.json]
+//	        [-trace dec.jsonl] [-chrome trace.json]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/governor"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -31,8 +33,11 @@ func main() {
 	idle := flag.Bool("idle", false, "drop to minimum frequency between jobs (§5.5)")
 	csvPath := flag.String("csv", "", "write per-job trace CSV to this path")
 	jsonPath := flag.String("json", "", "write run summary JSON to this path")
+	tracePath := flag.String("trace", "", "write decision events as JSONL to this path (dvfstrace reads it)")
+	chromePath := flag.String("chrome", "", "write a Chrome trace-event file to this path (chrome://tracing, Perfetto)")
 	modelPath := flag.String("model", "", "load a trained prediction model (from dvfsprofile -o) instead of training")
 	platName := flag.String("platform", "a7", "platform model: a7, x86, biglittle")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Validate inputs up front: unknown benchmark / governor / platform
@@ -42,6 +47,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dvfssim:", err)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if _, err := logFlags.Logger(os.Stderr); err != nil {
+		usageErr(err)
 	}
 	if _, err := workload.ByName(*wName); err != nil {
 		usageErr(err)
@@ -53,7 +61,7 @@ func main() {
 		usageErr(fmt.Errorf("unknown governor %q (have: performance, powersave, interactive, ondemand, movingavg, pid, prediction, oracle)", *gName))
 	}
 
-	if err := run(*wName, *gName, *budget, *jobs, *seed, *idle, *csvPath, *jsonPath, *modelPath, *platName); err != nil {
+	if err := run(*wName, *gName, *budget, *jobs, *seed, *idle, *csvPath, *jsonPath, *tracePath, *chromePath, *modelPath, *platName); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfssim:", err)
 		os.Exit(1)
 	}
@@ -66,7 +74,7 @@ var validGovernors = map[string]bool{
 	"prediction": true, "oracle": true,
 }
 
-func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, csvPath, jsonPath, modelPath, platName string) error {
+func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, csvPath, jsonPath, tracePath, chromePath, modelPath, platName string) error {
 	w, err := workload.ByName(wName)
 	if err != nil {
 		return err
@@ -90,6 +98,39 @@ func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, c
 	} else if g, err = suite.Governor(gName, w); err != nil {
 		return err
 	}
+
+	// Decision sinks. With a prediction controller the tracer rides
+	// along live — JobStart/JobEnd publish completed events with
+	// in-process residuals, feature hashes, and budget attribution.
+	// Other governors get the post-run adapter over the job records.
+	var sinks []obs.Sink
+	var sinkPaths []string
+	for _, p := range []struct {
+		path string
+		mk   func(f *os.File) obs.Sink
+	}{
+		{tracePath, func(f *os.File) obs.Sink { return obs.NewJSONLSink(f) }},
+		{chromePath, func(f *os.File) obs.Sink { return obs.NewChromeTraceSink(f) }},
+	} {
+		if p.path == "" {
+			continue
+		}
+		f, err := os.Create(p.path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sinks = append(sinks, p.mk(f))
+		sinkPaths = append(sinkPaths, p.path)
+	}
+	liveTrace := false
+	if len(sinks) > 0 {
+		if ctl, ok := g.(*core.Controller); ok {
+			ctl.SetTracer(obs.NewTracer(obs.TracerOptions{Sinks: sinks}))
+			liveTrace = true
+		}
+	}
+
 	cfg := sim.Config{
 		Plat:            suite.Plat,
 		BudgetSec:       budget,
@@ -106,6 +147,19 @@ func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, c
 	if err != nil {
 		return err
 	}
+	if len(sinks) > 0 {
+		if liveTrace {
+			if err := g.(*core.Controller).Tracer().Close(); err != nil {
+				return err
+			}
+		} else {
+			for _, s := range sinks {
+				if err := trace.EmitDecisions(s, r); err != nil {
+					return err
+				}
+			}
+		}
+	}
 
 	fmt.Printf("workload   %s (%s)\n", w.Name, w.TaskDesc)
 	fmt.Printf("governor   %s\n", r.Governor)
@@ -118,6 +172,9 @@ func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, c
 	fmt.Printf("breakdown  exec %.3f J, idle %.3f J, switch %.3f J, predictor %.3f J\n",
 		b.ExecJ, b.IdleJ, b.SwitchJ, b.PredictorJ)
 
+	for _, p := range sinkPaths {
+		fmt.Printf("decisions  %s\n", p)
+	}
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
 		if err != nil {

@@ -1,0 +1,67 @@
+// Command dvfstrace analyzes a JSONL decision log (written by
+// dvfssim -trace or dvfsd -trace) and reports what the paper's
+// evaluation cares about: deadline-miss rate, signed-residual
+// quantiles (positive residual = under-prediction, the α-penalized
+// direction of §3.3), margin attribution (where the budget went:
+// predictor, switch estimate, margin), and per-level occupancy.
+//
+// Usage:
+//
+//	dvfstrace -input dec.jsonl [-format text|json]
+//
+// Exit status: 0 on success, 2 on usage errors (unknown flag, missing
+// or unreadable input), 1 on analysis failures.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	input := flag.String("input", "", "JSONL decision log to analyze (required)")
+	format := flag.String("format", "text", "output format: text or json")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
+	flag.Parse()
+
+	usageErr := func(err error) {
+		fmt.Fprintln(os.Stderr, "dvfstrace:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if _, err := logFlags.Logger(os.Stderr); err != nil {
+		usageErr(err)
+	}
+	if *input == "" {
+		usageErr(fmt.Errorf("-input is required"))
+	}
+	if *format != "text" && *format != "json" {
+		usageErr(fmt.Errorf("unknown format %q (use text or json)", *format))
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		usageErr(err)
+	}
+	defer f.Close()
+
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvfstrace:", err)
+		os.Exit(1)
+	}
+	report := obs.Analyze(events)
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "dvfstrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	report.WriteText(os.Stdout)
+}

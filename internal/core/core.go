@@ -13,12 +13,14 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/dvfs"
 	"repro/internal/features"
 	"repro/internal/governor"
 	"repro/internal/instrument"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/regress"
 	"repro/internal/slicer"
@@ -151,6 +153,16 @@ type Controller struct {
 	SliceBound analysis.CostBound
 	// SliceBoundSec is SliceBound converted to seconds at fmax.
 	SliceBoundSec float64
+
+	// tracer, when set, receives a DecisionEvent per job: begun at
+	// JobStart, completed with the signed residual at JobEnd. The
+	// controller itself stays feed-forward — tracing observes
+	// decisions, it never influences them.
+	tracer *obs.Tracer
+	// pendMu guards pending, the JobStart-to-JobEnd handoff keyed by
+	// job index.
+	pendMu  sync.Mutex
+	pending map[int]*obs.Pending
 }
 
 var _ governor.Governor = (*Controller)(nil)
@@ -482,6 +494,10 @@ type Prediction struct {
 	// PredictedExecSec is the un-margined expected execution time at
 	// Target (the Fig 19 analysis quantity).
 	PredictedExecSec float64
+	// FeatHash fingerprints the vectorized feature vector
+	// (obs.FeatureHash), so equal-input decisions can be correlated
+	// across runs and tiers without shipping the features.
+	FeatHash uint64
 }
 
 // PredictTrace evaluates the trained models on an already-recorded
@@ -515,6 +531,49 @@ func (c *Controller) PredictTrace(tr *features.Trace, params map[string]int64, b
 		EffBudgetSec:     eff,
 		PredictorSec:     predictorSec,
 		PredictedExecSec: tp.TimeAt(target.EffFreqHz()),
+		FeatHash:         obs.FeatureHash(x),
+	}
+}
+
+// SetTracer attaches (or, with nil, detaches) a decision tracer. Not
+// safe to call concurrently with JobStart/JobEnd — wire the tracer
+// before handing the controller to a simulator or server.
+func (c *Controller) SetTracer(t *obs.Tracer) {
+	c.tracer = t
+	if t != nil && c.pending == nil {
+		c.pending = map[int]*obs.Pending{}
+	}
+}
+
+// Tracer returns the attached decision tracer (nil when none).
+func (c *Controller) Tracer() *obs.Tracer { return c.tracer }
+
+// decisionEvent assembles the traced view of one run-time decision.
+// The switch-time field is the selector's table estimate for the
+// cur→target transition — the quantity §3.4 subtracts from the budget
+// — not the measured transition time, which only the simulator knows.
+func (c *Controller) decisionEvent(job *governor.Job, cur platform.Level, p Prediction) obs.DecisionEvent {
+	switchSec := 0.0
+	if c.Selector.Switch != nil {
+		switchSec = c.Selector.Switch.Lookup(cur.Index, p.Target.Index)
+	}
+	return obs.DecisionEvent{
+		Workload:         c.W.Name,
+		Governor:         c.Name(),
+		Job:              job.Index,
+		TimeSec:          job.DeadlineSec - job.RemainingBudgetSec,
+		FeatHash:         p.FeatHash,
+		Predicted:        true,
+		TFminSec:         p.TFminSec,
+		TFmaxSec:         p.TFmaxSec,
+		PredictedExecSec: p.PredictedExecSec,
+		Level:            p.Target.Index,
+		FreqKHz:          int64(p.Target.FreqHz / 1e3),
+		Margin:           c.Selector.Margin,
+		BudgetSec:        job.RemainingBudgetSec,
+		EffBudgetSec:     p.EffBudgetSec,
+		PredictorSec:     p.PredictorSec,
+		SwitchSec:        switchSec,
 	}
 }
 
@@ -537,6 +596,12 @@ func (c *Controller) JobStart(job *governor.Job, cur platform.Level) governor.De
 	predictorSec := c.Plat.JobTimeAt(sw.CPU, sw.MemSec, cur)
 
 	p := c.PredictTrace(tr, job.Params, job.RemainingBudgetSec, predictorSec, cur)
+	if c.tracer != nil {
+		pend := c.tracer.Begin(c.decisionEvent(job, cur, p))
+		c.pendMu.Lock()
+		c.pending[job.Index] = pend
+		c.pendMu.Unlock()
+	}
 	return governor.Decision{
 		Target:           p.Target,
 		PredictorSec:     p.PredictorSec,
@@ -544,8 +609,28 @@ func (c *Controller) JobStart(job *governor.Job, cur platform.Level) governor.De
 	}
 }
 
-// JobEnd implements governor.Governor (the predictor is feed-forward).
-func (c *Controller) JobEnd(*governor.Job, float64) {}
+// JobEnd implements governor.Governor. The predictor stays
+// feed-forward — the actual execution time is never fed back into the
+// model — but when a tracer is attached the pending decision event is
+// completed here: the signed residual (actual − predicted) is computed
+// in-process, and the miss bit records the controller-visible outcome
+// (actual execution exceeded the effective budget less the estimated
+// switch time; wall-clock miss accounting lives in the simulator's
+// JobRecord).
+func (c *Controller) JobEnd(job *governor.Job, actualExecSec float64) {
+	if c.tracer == nil {
+		return
+	}
+	c.pendMu.Lock()
+	pend := c.pending[job.Index]
+	delete(c.pending, job.Index)
+	c.pendMu.Unlock()
+	if pend == nil {
+		return
+	}
+	missed := actualExecSec > pend.E.EffBudgetSec-pend.E.SwitchSec
+	pend.End(actualExecSec, missed)
+}
 
 // SampleInterval implements governor.Governor.
 func (c *Controller) SampleInterval() float64 { return 0 }

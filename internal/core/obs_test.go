@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/obs"
+)
+
+// TestTracerRecordsResidualInProcess exercises satellite (b): with a
+// tracer attached, JobStart stages a DecisionEvent and JobEnd completes
+// it with the actual execution time, so the signed residual is computed
+// in-process without feeding anything back into the predictor.
+func TestTracerRecordsResidualInProcess(t *testing.T) {
+	c := buildLDecode(t)
+	var mem obs.MemorySink
+	drift := obs.NewDriftMonitor(obs.DriftConfig{Window: 32, MinSamples: 4})
+	tr := obs.NewTracer(obs.TracerOptions{RingSize: 64, Sinks: []obs.Sink{&mem}, Drift: drift})
+	c.SetTracer(tr)
+	if c.Tracer() != tr {
+		t.Fatal("Tracer() does not return the attached tracer")
+	}
+
+	gen := c.W.NewGen(7)
+	globals := c.W.FreshGlobals()
+	const n = 8
+	for i := 0; i < n; i++ {
+		job := &governor.Job{
+			Index:              i,
+			Params:             gen.Next(i),
+			Globals:            globals,
+			DeadlineSec:        0.050,
+			RemainingBudgetSec: 0.050,
+		}
+		dec := c.JobStart(job, c.Plat.MaxLevel())
+		// Complete each job slightly over its prediction, as the
+		// simulator would after running it.
+		c.JobEnd(job, dec.PredictedExecSec+0.001)
+	}
+
+	events := mem.Events()
+	if len(events) != n {
+		t.Fatalf("sink saw %d events, want %d", len(events), n)
+	}
+	for i, e := range events {
+		if !e.Done || !e.Predicted {
+			t.Fatalf("event %d not completed with prediction: %+v", i, e)
+		}
+		if e.Workload != "ldecode" || e.Governor != c.Name() || e.Job != i {
+			t.Errorf("event %d identity wrong: %+v", i, e)
+		}
+		if e.FeatHash == 0 {
+			t.Errorf("event %d missing feature hash", i)
+		}
+		if e.TFminSec < e.TFmaxSec {
+			t.Errorf("event %d: t(fmin)=%g < t(fmax)=%g", i, e.TFminSec, e.TFmaxSec)
+		}
+		if e.PredictorSec <= 0 || e.EffBudgetSec >= e.BudgetSec {
+			t.Errorf("event %d budget accounting: %+v", i, e)
+		}
+		if diff := e.ResidualSec - 0.001; math.Abs(diff) > 1e-12 {
+			t.Errorf("event %d residual = %g, want 0.001", i, e.ResidualSec)
+		}
+		if !e.UnderPredicted() {
+			t.Errorf("event %d: positive residual not counted as under-prediction", i)
+		}
+	}
+	// The ring holds the same completed events.
+	if snap := tr.Snapshot(0); len(snap) != n || !snap[n-1].Done {
+		t.Errorf("ring snapshot: %d events, last done=%v", len(snap), len(snap) > 0 && snap[len(snap)-1].Done)
+	}
+	// Completed predicted events feed the drift monitor.
+	if r := drift.UnderRate("ldecode"); r != 1 {
+		t.Errorf("drift under rate = %g, want 1", r)
+	}
+
+	// JobEnd for an unknown job (or after detach) must be a no-op.
+	c.JobEnd(&governor.Job{Index: 999}, 0.01)
+	c.SetTracer(nil)
+	c.JobEnd(&governor.Job{Index: 0}, 0.01)
+	if got := len(mem.Events()); got != n {
+		t.Errorf("stray JobEnd published events: %d", got)
+	}
+}

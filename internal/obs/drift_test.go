@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDriftMonitorFlipsAndRecovers(t *testing.T) {
+	var logBuf bytes.Buffer
+	reg := NewRegistry()
+	gauge := reg.GaugeVec("model_stale", "stale", "workload")
+	d := NewDriftMonitor(DriftConfig{
+		Window: 100, MinSamples: 50, Alpha: 100,
+		Log:        slog.New(slog.NewTextHandler(&logBuf, nil)),
+		StaleGauge: gauge,
+	})
+
+	// A healthy stream: 1% under-prediction, matching the trained
+	// α-quantile for α=100.
+	for i := 0; i < 200; i++ {
+		res := -0.001
+		if i%100 == 0 {
+			res = 0.002
+		}
+		d.Observe("ldecode", res)
+	}
+	if d.Stale("ldecode") {
+		t.Fatal("healthy stream flagged stale")
+	}
+	if gauge.With("ldecode").Value() != 0 {
+		t.Fatal("gauge set without a transition")
+	}
+
+	// Drift: 20% under-prediction — far beyond 3/(1+α) ≈ 3%.
+	for i := 0; i < 100; i++ {
+		res := -0.001
+		if i%5 == 0 {
+			res = 0.002
+		}
+		d.Observe("ldecode", res)
+	}
+	if !d.Stale("ldecode") {
+		t.Fatalf("drifted stream not flagged (under rate %.3f)", d.UnderRate("ldecode"))
+	}
+	if gauge.With("ldecode").Value() != 1 {
+		t.Error("stale gauge not set")
+	}
+	if !strings.Contains(logBuf.String(), "prediction model stale") {
+		t.Errorf("missing staleness warning in log:\n%s", logBuf.String())
+	}
+
+	// Recovery with hysteresis: once over-predicting again, the flag
+	// clears only below half the threshold.
+	for i := 0; i < 200; i++ {
+		d.Observe("ldecode", -0.001)
+	}
+	if d.Stale("ldecode") {
+		t.Fatal("recovered stream still stale")
+	}
+	if gauge.With("ldecode").Value() != 0 {
+		t.Error("stale gauge not cleared")
+	}
+
+	if ws := d.Workloads(); len(ws) != 1 || ws[0] != "ldecode" {
+		t.Errorf("workloads = %v", ws)
+	}
+}
+
+func TestDriftMonitorQuantilesAndIsolation(t *testing.T) {
+	d := NewDriftMonitor(DriftConfig{Window: 64})
+	if !math.IsNaN(d.Quantile("none", 0.5)) || !math.IsNaN(d.UnderRate("none")) {
+		t.Fatal("unknown workload should report NaN")
+	}
+	for i := 1; i <= 64; i++ {
+		d.Observe("a", float64(i))
+		d.Observe("b", -1)
+	}
+	if p := d.Quantile("a", 0.5); p < 30 || p > 35 {
+		t.Errorf("p50(a) = %g, want ≈ 32.5", p)
+	}
+	if r := d.UnderRate("b"); r != 0 {
+		t.Errorf("workload b leaked under-predictions: %g", r)
+	}
+	// MinSamples default (50) reached with 100% under rate → stale for
+	// a only.
+	if !d.Stale("a") || d.Stale("b") {
+		t.Errorf("stale(a)=%v stale(b)=%v, want true/false", d.Stale("a"), d.Stale("b"))
+	}
+}

@@ -1,0 +1,107 @@
+// Package obs is the cross-cutting observability layer: per-decision
+// tracing for the prediction controller (a lock-free ring buffer with
+// pluggable JSONL / in-memory / Chrome-trace sinks), a shared metrics
+// registry rendering the Prometheus text exposition, and a
+// prediction-drift monitor that watches the residual between predicted
+// and actual execution time.
+//
+// The paper's controller is feed-forward: it predicts a job's
+// execution time, picks a frequency, and never looks back. That makes
+// the *residual* (actual − predicted) the one signal that tells an
+// operator whether the trained model still describes the workload —
+// under-prediction is what causes deadline misses (§3.3's asymmetric α
+// penalty exists precisely to suppress it). This package makes the
+// residual, the overhead attribution (slice time + DVFS switch time
+// subtracted from the budget, §3.4), and the per-level occupancy
+// observable at run time, in the simulator and in the dvfsd serving
+// tier alike.
+package obs
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// DecisionEvent is one controller decision and, once the job has run,
+// its outcome. Events are immutable after emission; every field is
+// wire-encodable (no NaNs — absent predictions are flagged, not
+// encoded).
+type DecisionEvent struct {
+	// Seq is the tracer-assigned global sequence number.
+	Seq uint64 `json:"seq"`
+	// Workload and Governor identify the decision source; in the
+	// serving tier Workload is the model name and Governor is "serve".
+	Workload string `json:"workload"`
+	Governor string `json:"governor,omitempty"`
+	// Job is the job's index within its stream.
+	Job int `json:"job"`
+	// TimeSec is the decision time on the source's clock (simulated
+	// time in the simulator, seconds since process start in dvfsd).
+	TimeSec float64 `json:"time_sec"`
+	// FeatHash is an FNV-1a hash of the vectorized feature vector —
+	// enough to correlate decisions made for identical inputs without
+	// shipping the features themselves.
+	FeatHash uint64 `json:"feat_hash,omitempty"`
+	// Predicted reports whether the governor produced a prediction;
+	// baseline governors (performance, interactive, ...) do not.
+	Predicted bool `json:"predicted"`
+	// TFminSec and TFmaxSec are the model's predicted job times at the
+	// platform's minimum and maximum frequencies.
+	TFminSec float64 `json:"tfmin_sec,omitempty"`
+	TFmaxSec float64 `json:"tfmax_sec,omitempty"`
+	// PredictedExecSec is the un-margined expected execution time at
+	// the chosen level.
+	PredictedExecSec float64 `json:"predicted_exec_sec,omitempty"`
+	// Level is the chosen DVFS level index; FreqKHz its clock rate.
+	Level   int   `json:"level"`
+	FreqKHz int64 `json:"freq_khz,omitempty"`
+	// Margin is the safety-margin fraction applied to predictions.
+	Margin float64 `json:"margin,omitempty"`
+	// BudgetSec is the job's remaining budget at decision time;
+	// EffBudgetSec is what is left after subtracting the predictor's
+	// own cost (§3.4); PredictorSec and SwitchSec are the overheads
+	// charged against it (SwitchSec is the switch-table estimate at
+	// decision time, or the measured transition time when an event is
+	// re-emitted from a finished simulation).
+	BudgetSec    float64 `json:"budget_sec,omitempty"`
+	EffBudgetSec float64 `json:"eff_budget_sec,omitempty"`
+	PredictorSec float64 `json:"predictor_sec,omitempty"`
+	SwitchSec    float64 `json:"switch_sec,omitempty"`
+	// Done reports that the job finished and the outcome fields below
+	// are valid.
+	Done bool `json:"done"`
+	// ActualExecSec is the job's measured execution time at the chosen
+	// level (predictor and switch overheads excluded).
+	ActualExecSec float64 `json:"actual_exec_sec,omitempty"`
+	// ResidualSec is ActualExecSec − PredictedExecSec: positive means
+	// the model under-predicted (the dangerous direction). Only
+	// meaningful when Done and Predicted are both set.
+	ResidualSec float64 `json:"residual_sec,omitempty"`
+	// Missed reports a deadline miss: the simulator's wall-clock
+	// accounting, or — for in-process controller events — the
+	// controller-visible miss (actual execution exceeded the effective
+	// budget less the estimated switch time).
+	Missed bool `json:"missed,omitempty"`
+}
+
+// UnderPredicted reports whether the event completed with the model
+// having predicted less time than the job took.
+func (e *DecisionEvent) UnderPredicted() bool {
+	return e.Done && e.Predicted && e.ResidualSec > 0
+}
+
+// FeatureHash hashes a feature vector with FNV-1a over the IEEE-754
+// bits of each value. The same vector always hashes the same way, so
+// equal-input decisions can be correlated across runs and tiers.
+func FeatureHash(x []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range x {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogFlags is the shared -log-level / -log-format flag pair every
+// binary registers, so diagnostics are configured identically across
+// the tool suite (ad-hoc log/fmt diagnostics all route through
+// log/slog).
+type LogFlags struct {
+	level  *string
+	format *string
+}
+
+// RegisterLogFlags adds -log-level and -log-format to fs.
+func RegisterLogFlags(fs *flag.FlagSet) *LogFlags {
+	return &LogFlags{
+		level:  fs.String("log-level", "info", "log verbosity: debug, info, warn, error"),
+		format: fs.String("log-format", "text", "log encoding: text, json"),
+	}
+}
+
+// Logger validates the flag values and builds the logger on w. Invalid
+// spellings are usage errors — a binary must reject them up front.
+func (f *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(*f.level) {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (use debug, info, warn, error)", *f.level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(*f.format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (use text, json)", *f.format)
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func approxEq(got, want float64) bool {
+	diff := got - want
+	return diff < 1e-12 && diff > -1e-12
+}
+
+func testEvents() []DecisionEvent {
+	var events []DecisionEvent
+	for i := 0; i < 100; i++ {
+		e := DecisionEvent{
+			Workload: "ldecode", Governor: "prediction", Job: i,
+			Predicted: true, PredictedExecSec: 0.020, Level: 3,
+			BudgetSec: 0.050, EffBudgetSec: 0.048,
+			PredictorSec: 0.001, SwitchSec: 0.001,
+			Done: true, ActualExecSec: 0.019, ResidualSec: -0.001,
+		}
+		if i%10 == 0 { // 10% under-predicted
+			e.ActualExecSec = 0.022
+			e.ResidualSec = 0.002
+		}
+		if i%25 == 0 { // 4% missed
+			e.Missed = true
+		}
+		if i%2 == 1 {
+			e.Level = 7
+		}
+		events = append(events, e)
+	}
+	// One incomplete serving-tier event.
+	events = append(events, DecisionEvent{Workload: "sha", Governor: "serve", Predicted: true, Level: 12})
+	return events
+}
+
+func TestAnalyze(t *testing.T) {
+	r := Analyze(testEvents())
+	if r.Events != 101 || r.Completed != 100 || r.WithPrediction != 100 {
+		t.Fatalf("counts = %d/%d/%d", r.Events, r.Completed, r.WithPrediction)
+	}
+	if got := strings.Join(r.Workloads, ","); got != "ldecode,sha" {
+		t.Errorf("workloads = %q", got)
+	}
+	if r.Misses != 4 || r.MissRate != 0.04 {
+		t.Errorf("misses = %d rate %g", r.Misses, r.MissRate)
+	}
+	if r.Residual.N != 100 || r.Residual.UnderRate != 0.10 {
+		t.Errorf("residual n=%d under=%g", r.Residual.N, r.Residual.UnderRate)
+	}
+	if r.Residual.MaxSec != 0.002 || r.Residual.MinSec != -0.001 {
+		t.Errorf("residual range [%g, %g]", r.Residual.MinSec, r.Residual.MaxSec)
+	}
+	if r.Residual.P50Sec != -0.001 {
+		t.Errorf("p50 = %g", r.Residual.P50Sec)
+	}
+	if r.Residual.P99Sec != 0.002 {
+		t.Errorf("p99 = %g", r.Residual.P99Sec)
+	}
+	// Margin attribution: only the 100 budget-carrying events count.
+	if !approxEq(r.Overhead.MeanBudgetSec, 0.050) || !approxEq(r.Overhead.MeanEffBudgetSec, 0.048) {
+		t.Errorf("budget attribution = %+v", r.Overhead)
+	}
+	if f := r.Overhead.PredictorFrac; f < 0.0195 || f > 0.0199 {
+		t.Errorf("predictor frac = %g, want ≈ 0.0198 (1ms of 50ms over 101 events)", f)
+	}
+	// Occupancy: levels 3, 7, 12 in ascending order.
+	if len(r.Levels) != 3 || r.Levels[0].Level != 3 || r.Levels[1].Level != 7 || r.Levels[2].Level != 12 {
+		t.Fatalf("levels = %+v", r.Levels)
+	}
+	if r.Levels[0].Count != 50 || r.Levels[1].Count != 50 || r.Levels[2].Count != 1 {
+		t.Errorf("occupancy = %+v", r.Levels)
+	}
+}
+
+func TestReportWriteText(t *testing.T) {
+	var b strings.Builder
+	Analyze(testEvents()).WriteText(&b)
+	for _, want := range []string{
+		"events      101 (100 completed, 100 with predictions)",
+		"workloads   ldecode, sha",
+		"misses      4 (4.00% of completed jobs)",
+		"under-predictions 10.00%",
+		"level  3",
+		"level 12",
+		"margin      budget 50.000 ms",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, b.String())
+		}
+	}
+	// An empty log must render without dividing by zero.
+	var e strings.Builder
+	Analyze(nil).WriteText(&e)
+	if !strings.Contains(e.String(), "events      0") {
+		t.Errorf("empty report:\n%s", e.String())
+	}
+}

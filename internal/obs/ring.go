@@ -1,0 +1,76 @@
+package obs
+
+import "sync/atomic"
+
+// Ring is a lock-free bounded ring buffer of decision events. Writers
+// claim a slot with one atomic fetch-add and publish the event with one
+// atomic pointer store; a full ring overwrites the oldest entries. No
+// writer ever blocks — the instrumentation must stay off the predictor's
+// budget-accounting critical path (§3.4 subtracts the predictor's cost
+// from every job's budget, so a slow tracer would directly cost energy).
+//
+// Readers take a best-effort snapshot: an event being overwritten
+// concurrently with the read is skipped, never torn, because slots hold
+// immutable events behind atomic pointers.
+type Ring struct {
+	slots []atomic.Pointer[DecisionEvent]
+	mask  uint64
+	pos   atomic.Uint64
+}
+
+// NewRing returns a ring holding at least capacity events (rounded up
+// to a power of two; minimum 2).
+func NewRing(capacity int) *Ring {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[DecisionEvent], n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Len returns the number of events currently retained.
+func (r *Ring) Len() int {
+	n := r.pos.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Total returns the number of events ever put, including overwritten
+// ones.
+func (r *Ring) Total() uint64 { return r.pos.Load() }
+
+// Put publishes a copy of e and returns its assigned sequence number.
+func (r *Ring) Put(e DecisionEvent) uint64 {
+	seq := r.pos.Add(1) - 1
+	e.Seq = seq
+	r.slots[seq&r.mask].Store(&e)
+	return seq
+}
+
+// Snapshot returns up to n of the most recent events in sequence order,
+// oldest first (n ≤ 0 means the whole ring). Events overwritten while
+// the snapshot runs are skipped, so a snapshot under a heavy write load
+// may return slightly fewer events than requested — never corrupt ones.
+func (r *Ring) Snapshot(n int) []DecisionEvent {
+	pos := r.pos.Load()
+	if n <= 0 || n > len(r.slots) {
+		n = len(r.slots)
+	}
+	start := uint64(0)
+	if pos > uint64(n) {
+		start = pos - uint64(n)
+	}
+	out := make([]DecisionEvent, 0, pos-start)
+	for s := start; s < pos; s++ {
+		p := r.slots[s&r.mask].Load()
+		if p != nil && p.Seq == s {
+			out = append(out, *p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingRoundsUpAndRetainsLastN(t *testing.T) {
+	r := NewRing(100)
+	if r.Cap() != 128 {
+		t.Fatalf("cap = %d, want 128", r.Cap())
+	}
+	for i := 0; i < 300; i++ {
+		r.Put(DecisionEvent{Job: i})
+	}
+	if r.Len() != 128 {
+		t.Fatalf("len = %d, want 128", r.Len())
+	}
+	if r.Total() != 300 {
+		t.Fatalf("total = %d, want 300", r.Total())
+	}
+	snap := r.Snapshot(0)
+	if len(snap) != 128 {
+		t.Fatalf("snapshot has %d events, want 128", len(snap))
+	}
+	// The snapshot is the most recent 128 events, oldest first, with
+	// sequence numbers assigned in Put order.
+	for i, e := range snap {
+		wantSeq := uint64(300 - 128 + i)
+		if e.Seq != wantSeq || e.Job != int(wantSeq) {
+			t.Fatalf("snap[%d] = seq %d job %d, want seq %d", i, e.Seq, e.Job, wantSeq)
+		}
+	}
+	last := r.Snapshot(5)
+	if len(last) != 5 || last[0].Seq != 295 || last[4].Seq != 299 {
+		t.Fatalf("snapshot(5) = %+v", last)
+	}
+}
+
+// TestRingConcurrent hammers the ring with 32 writers while a reader
+// snapshots continuously — the -race acceptance case. Snapshots must
+// only ever contain events that were actually put, in strictly
+// increasing sequence order.
+func TestRingConcurrent(t *testing.T) {
+	const writers = 32
+	const perWriter = 1000
+	r := NewRing(256)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	readerDone := make(chan error, 1)
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot(0)
+			for i := 1; i < len(snap); i++ {
+				if snap[i].Seq <= snap[i-1].Seq {
+					t.Errorf("snapshot out of order: seq %d after %d", snap[i].Seq, snap[i-1].Seq)
+					return
+				}
+			}
+			for _, e := range snap {
+				if e.Job < 0 || e.Job >= writers*perWriter || e.Level != e.Job%13 {
+					t.Errorf("torn event: %+v", e)
+					return
+				}
+			}
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				job := w*perWriter + i
+				r.Put(DecisionEvent{Job: job, Level: job % 13, Workload: "ldecode"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	if r.Total() != writers*perWriter {
+		t.Fatalf("total = %d, want %d", r.Total(), writers*perWriter)
+	}
+	if got := len(r.Snapshot(0)); got != 256 {
+		t.Fatalf("final snapshot has %d events, want 256 (no writes in flight)", got)
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import "sync/atomic"
+
+// TracerOptions configures NewTracer. The zero value is usable: a
+// 4096-event ring, no sinks, no drift monitoring.
+type TracerOptions struct {
+	// RingSize bounds the in-memory event ring; zero → 4096.
+	RingSize int
+	// Sinks receive every emitted event in addition to the ring.
+	Sinks []Sink
+	// Drift, when non-nil, observes every completed prediction's
+	// residual.
+	Drift *DriftMonitor
+	// OnEmit, when non-nil, runs after each emission — the hook a
+	// metrics registry uses to count events without coupling the
+	// tracer to it.
+	OnEmit func(e *DecisionEvent)
+}
+
+// Tracer is the decision-tracing front end: it assigns sequence
+// numbers, retains recent events in a lock-free ring (served by dvfsd's
+// GET /debug/decisions), fans events out to sinks, and feeds the drift
+// monitor. Emit and Pending.End are safe for concurrent use.
+type Tracer struct {
+	ring    *Ring
+	sinks   []Sink
+	drift   *DriftMonitor
+	onEmit  func(e *DecisionEvent)
+	emitted atomic.Uint64
+}
+
+// NewTracer builds a tracer.
+func NewTracer(opts TracerOptions) *Tracer {
+	if opts.RingSize <= 0 {
+		opts.RingSize = 4096
+	}
+	return &Tracer{
+		ring:   NewRing(opts.RingSize),
+		sinks:  opts.Sinks,
+		drift:  opts.Drift,
+		onEmit: opts.OnEmit,
+	}
+}
+
+// Emit publishes a one-shot event (a decision whose outcome will never
+// be reported, e.g. a dvfsd predict request, where the job runs on the
+// client).
+func (t *Tracer) Emit(e DecisionEvent) { t.publish(&e) }
+
+// Pending is a decision awaiting its job's completion. E is the event
+// as begun; the completer owns it until End.
+type Pending struct {
+	t *Tracer
+	// E is the in-flight event. Callers may read decision fields (for
+	// example the effective budget) to derive completion inputs, and
+	// must not touch it after End.
+	E DecisionEvent
+}
+
+// Begin stages a decision whose outcome will be reported via End —
+// nothing is published yet. Controllers call Begin at JobStart and End
+// at JobEnd, so every published event carries its residual.
+func (t *Tracer) Begin(e DecisionEvent) *Pending {
+	return &Pending{t: t, E: e}
+}
+
+// End completes the decision with the job's measured execution time,
+// computes the signed residual (positive = under-prediction), and
+// publishes the event.
+func (p *Pending) End(actualExecSec float64, missed bool) {
+	p.E.Done = true
+	p.E.ActualExecSec = actualExecSec
+	p.E.Missed = missed
+	if p.E.Predicted {
+		p.E.ResidualSec = actualExecSec - p.E.PredictedExecSec
+	}
+	p.t.publish(&p.E)
+}
+
+func (t *Tracer) publish(e *DecisionEvent) {
+	e.Seq = t.ring.Put(*e)
+	t.emitted.Add(1)
+	for _, s := range t.sinks {
+		s.Emit(e)
+	}
+	if t.drift != nil && e.Done && e.Predicted {
+		t.drift.Observe(e.Workload, e.ResidualSec)
+	}
+	if t.onEmit != nil {
+		t.onEmit(e)
+	}
+}
+
+// Snapshot returns up to n recent events, oldest first (n ≤ 0 means
+// the whole ring).
+func (t *Tracer) Snapshot(n int) []DecisionEvent { return t.ring.Snapshot(n) }
+
+// Emitted returns the total number of events published.
+func (t *Tracer) Emitted() uint64 { return t.emitted.Load() }
+
+// Drift returns the attached drift monitor (nil when none).
+func (t *Tracer) Drift() *DriftMonitor { return t.drift }
+
+// Close closes every sink and returns the first error.
+func (t *Tracer) Close() error {
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+func TestDebugDecisionsAndPprof(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	plat := platform.ODROIDXU3A7()
+	sw := platform.MeasureSwitchTable(plat, 500, 0.95, testSeed)
+	reg, err := NewRegistry(RegistryOptions{Plat: plat, Switch: sw, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	tracer := obs.NewTracer(obs.TracerOptions{RingSize: 64})
+	srv := NewServer(reg, ServerOptions{Tracer: tracer, EnableDebug: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ctl := referenceController(t, plat, sw, "sha")
+	var buf bytes.Buffer
+	if err := core.SaveController(&buf, ctl); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.Post(ts.URL+"/v1/models/sha?mode=upload", "application/json", bytes.NewReader(buf.Bytes())); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %v HTTP %v", err, resp.StatusCode)
+	}
+
+	jobs, err := GenerateJobs("sha", 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range jobs {
+		body, _ := json.Marshal(PredictRequest{Model: "sha", PredictJob: job})
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict: HTTP %d", resp.StatusCode)
+		}
+	}
+
+	// Every served prediction landed in the ring as a one-shot event.
+	resp, err := http.Get(ts.URL + "/debug/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []obs.DecisionEvent
+	err = json.NewDecoder(resp.Body).Decode(&events)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(jobs) {
+		t.Fatalf("debug/decisions returned %d events, want %d", len(events), len(jobs))
+	}
+	for i, e := range events {
+		if e.Workload != "sha" || e.Governor != "serve" || !e.Predicted || e.Done {
+			t.Errorf("event %d: %+v", i, e)
+		}
+		if e.FeatHash == 0 || e.PredictedExecSec <= 0 {
+			t.Errorf("event %d missing prediction detail: %+v", i, e)
+		}
+	}
+
+	// ?n= bounds the dump; garbage n is a 400.
+	resp, err = http.Get(ts.URL + "/debug/decisions?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events = nil
+	json.NewDecoder(resp.Body).Decode(&events)
+	resp.Body.Close()
+	if len(events) != 1 {
+		t.Errorf("n=1 returned %d events", len(events))
+	}
+	resp, err = http.Get(ts.URL + "/debug/decisions?n=zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// pprof is mounted under /debug/pprof/.
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index: HTTP %d", resp.StatusCode)
+	}
+
+	// The scrape path fills the queue-depth and model-age gauges.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb bytes.Buffer
+	mb.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"dvfsd_build_queue_depth 0",
+		`dvfsd_model_age_seconds{model="sha"}`,
+	} {
+		if !strings.Contains(mb.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mb.String())
+		}
+	}
+}
+
+// Debug surfaces are opt-in: without EnableDebug the routes 404, and
+// with debug but no tracer /debug/decisions explains itself.
+func TestDebugDisabledByDefault(t *testing.T) {
+	reg, err := NewRegistry(RegistryOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ts := httptest.NewServer(NewServer(reg, ServerOptions{}))
+	defer ts.Close()
+	for _, path := range []string{"/debug/decisions", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without debug: HTTP %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	ts2 := httptest.NewServer(NewServer(reg, ServerOptions{EnableDebug: true}))
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/debug/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e ErrorResponse
+	json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(e.Error, "tracing disabled") {
+		t.Errorf("no-tracer decisions: HTTP %d, %+v", resp.StatusCode, e)
+	}
+}

@@ -3,44 +3,28 @@ package serve
 import (
 	"fmt"
 	"io"
-	"sort"
-	"strings"
-	"sync"
+
+	"repro/internal/obs"
 )
 
-// Metrics is dvfsd's metrics registry, exposed at GET /metrics in the
-// Prometheus text exposition format. It is deliberately tiny —
-// counters and fixed-bucket histograms behind one mutex — because the
-// daemon is stdlib-only; the hot predict path does one map update and
-// one histogram observation per request.
+// Metrics is dvfsd's metrics facade, exposed at GET /metrics in the
+// Prometheus text exposition format. The storage lives in a shared
+// obs.Registry — the same counter/gauge/histogram machinery the
+// simulator and drift monitor use — so this type only names the
+// daemon's metric families and keeps the hot predict path to one
+// counter bump and one histogram observation per request.
 type Metrics struct {
-	mu sync.Mutex
-	// requests counts finished HTTP requests by (route, status code).
-	requests map[[2]string]int64
-	// latency is a per-route request-duration histogram (seconds).
-	latency map[string]*histogram
-	// builds is the model build-duration histogram (seconds).
-	builds *histogram
-	// buildFailures counts failed model builds.
-	buildFailures int64
-	// decisions counts predictions by (model, chosen level index).
-	decisions map[[2]string]int64
-	// shed counts requests rejected by the concurrency limiter (429).
-	shed int64
-	// inflight is the number of requests currently being served.
-	inflight int64
-	// modelsReady is the number of models with a servable controller.
-	modelsReady int64
-}
-
-// NewMetrics returns an empty registry.
-func NewMetrics() *Metrics {
-	return &Metrics{
-		requests:  map[[2]string]int64{},
-		latency:   map[string]*histogram{},
-		builds:    newHistogram(buildBuckets),
-		decisions: map[[2]string]int64{},
-	}
+	reg        *obs.Registry
+	requests   *obs.CounterVec
+	latency    *obs.HistogramVec
+	builds     *obs.Histogram
+	buildFails *obs.Counter
+	decisions  *obs.CounterVec
+	shed       *obs.Counter
+	inflight   *obs.Gauge
+	ready      *obs.Gauge
+	queueDepth *obs.Gauge
+	modelAge   *obs.GaugeVec
 }
 
 // requestBuckets covers sub-millisecond predicts up to slow
@@ -52,174 +36,87 @@ var requestBuckets = []float64{
 // buildBuckets covers model training times.
 var buildBuckets = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 
-type histogram struct {
-	bounds []float64
-	counts []int64 // len(bounds)+1; last is the +Inf bucket
-	sum    float64
-	n      int64
+// NewMetrics returns a registry with the daemon's metric families.
+func NewMetrics() *Metrics {
+	reg := obs.NewRegistry()
+	return &Metrics{
+		reg: reg,
+		requests: reg.CounterVec("dvfsd_requests_total",
+			"Finished HTTP requests by route and status code.", "route", "code"),
+		latency: reg.HistogramVec("dvfsd_request_duration_seconds",
+			"Request latency by route.", requestBuckets, "route"),
+		builds: reg.Histogram("dvfsd_build_duration_seconds",
+			"Model build (train/load) duration.", buildBuckets),
+		buildFails: reg.Counter("dvfsd_build_failures_total",
+			"Model builds that ended in error."),
+		decisions: reg.CounterVec("dvfsd_decisions_total",
+			"Predictions by model and chosen DVFS level.", "model", "level"),
+		shed: reg.Counter("dvfsd_shed_total",
+			"Requests rejected by the concurrency limiter."),
+		inflight: reg.Gauge("dvfsd_inflight_requests",
+			"Requests currently being served."),
+		ready: reg.Gauge("dvfsd_models_ready",
+			"Models with a servable controller."),
+		queueDepth: reg.Gauge("dvfsd_build_queue_depth",
+			"Model builds waiting for the build worker."),
+		modelAge: reg.GaugeVec("dvfsd_model_age_seconds",
+			"Seconds since each servable model was built or loaded.", "model"),
+	}
 }
 
-func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
-}
-
-func (h *histogram) observe(v float64) {
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.sum += v
-	h.n++
-}
+// Registry exposes the underlying obs registry so the daemon can hang
+// additional families (the drift monitor's stale gauge) off the same
+// /metrics page.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // ObserveRequest records one finished request.
 func (m *Metrics) ObserveRequest(route string, code int, seconds float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[[2]string{route, fmt.Sprintf("%d", code)}]++
-	h := m.latency[route]
-	if h == nil {
-		h = newHistogram(requestBuckets)
-		m.latency[route] = h
-	}
-	h.observe(seconds)
+	m.requests.With(route, fmt.Sprintf("%d", code)).Inc()
+	m.latency.With(route).Observe(seconds)
 }
 
 // ObserveBuild records one finished model build.
 func (m *Metrics) ObserveBuild(seconds float64, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.builds.observe(seconds)
+	m.builds.Observe(seconds)
 	if err != nil {
-		m.buildFailures++
+		m.buildFails.Inc()
 	}
 }
 
 // ObserveDecision records one prediction outcome.
 func (m *Metrics) ObserveDecision(model string, level int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.decisions[[2]string{model, fmt.Sprintf("%d", level)}]++
+	m.decisions.With(model, fmt.Sprintf("%d", level)).Inc()
 }
 
 // ObserveShed records one load-shed (429) response.
-func (m *Metrics) ObserveShed() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.shed++
-}
+func (m *Metrics) ObserveShed() { m.shed.Inc() }
 
 // AddInflight adjusts the in-flight gauge by delta.
-func (m *Metrics) AddInflight(delta int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.inflight += int64(delta)
-}
+func (m *Metrics) AddInflight(delta int) { m.inflight.Add(float64(delta)) }
 
 // SetModelsReady updates the ready-model gauge.
-func (m *Metrics) SetModelsReady(n int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.modelsReady = int64(n)
+func (m *Metrics) SetModelsReady(n int) { m.ready.Set(float64(n)) }
+
+// SetQueueDepth updates the build-queue-depth gauge.
+func (m *Metrics) SetQueueDepth(n int) { m.queueDepth.Set(float64(n)) }
+
+// SetModelAge updates the per-model age gauge.
+func (m *Metrics) SetModelAge(model string, seconds float64) {
+	m.modelAge.With(model).Set(seconds)
 }
 
 // RequestCount returns the total finished requests for a route across
 // all status codes (tests use it to check counter consistency).
 func (m *Metrics) RequestCount(route string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var n int64
-	for k, v := range m.requests {
-		if k[0] == route {
-			n += v
+	m.requests.Each(func(labelVals []string, value float64) {
+		if labelVals[0] == route {
+			n += int64(value)
 		}
-	}
+	})
 	return n
 }
 
 // WriteTo renders the registry in the Prometheus text format with
 // deterministic ordering.
-func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var b strings.Builder
-
-	b.WriteString("# HELP dvfsd_requests_total Finished HTTP requests by route and status code.\n")
-	b.WriteString("# TYPE dvfsd_requests_total counter\n")
-	for _, k := range sortedKeys2(m.requests) {
-		fmt.Fprintf(&b, "dvfsd_requests_total{route=%q,code=%q} %d\n", k[0], k[1], m.requests[k])
-	}
-
-	b.WriteString("# HELP dvfsd_request_duration_seconds Request latency by route.\n")
-	b.WriteString("# TYPE dvfsd_request_duration_seconds histogram\n")
-	routes := make([]string, 0, len(m.latency))
-	for r := range m.latency {
-		routes = append(routes, r)
-	}
-	sort.Strings(routes)
-	for _, r := range routes {
-		writeHistogram(&b, "dvfsd_request_duration_seconds", fmt.Sprintf("route=%q", r), m.latency[r])
-	}
-
-	b.WriteString("# HELP dvfsd_build_duration_seconds Model build (train/load) duration.\n")
-	b.WriteString("# TYPE dvfsd_build_duration_seconds histogram\n")
-	writeHistogram(&b, "dvfsd_build_duration_seconds", "", m.builds)
-
-	b.WriteString("# HELP dvfsd_build_failures_total Model builds that ended in error.\n")
-	b.WriteString("# TYPE dvfsd_build_failures_total counter\n")
-	fmt.Fprintf(&b, "dvfsd_build_failures_total %d\n", m.buildFailures)
-
-	b.WriteString("# HELP dvfsd_decisions_total Predictions by model and chosen DVFS level.\n")
-	b.WriteString("# TYPE dvfsd_decisions_total counter\n")
-	for _, k := range sortedKeys2(m.decisions) {
-		fmt.Fprintf(&b, "dvfsd_decisions_total{model=%q,level=%q} %d\n", k[0], k[1], m.decisions[k])
-	}
-
-	b.WriteString("# HELP dvfsd_shed_total Requests rejected by the concurrency limiter.\n")
-	b.WriteString("# TYPE dvfsd_shed_total counter\n")
-	fmt.Fprintf(&b, "dvfsd_shed_total %d\n", m.shed)
-
-	b.WriteString("# HELP dvfsd_inflight_requests Requests currently being served.\n")
-	b.WriteString("# TYPE dvfsd_inflight_requests gauge\n")
-	fmt.Fprintf(&b, "dvfsd_inflight_requests %d\n", m.inflight)
-
-	b.WriteString("# HELP dvfsd_models_ready Models with a servable controller.\n")
-	b.WriteString("# TYPE dvfsd_models_ready gauge\n")
-	fmt.Fprintf(&b, "dvfsd_models_ready %d\n", m.modelsReady)
-
-	n, err := io.WriteString(w, b.String())
-	return int64(n), err
-}
-
-func writeHistogram(b *strings.Builder, name, label string, h *histogram) {
-	sep := ""
-	if label != "" {
-		sep = ","
-	}
-	cum := int64(0)
-	for i, bound := range h.bounds {
-		cum += h.counts[i]
-		fmt.Fprintf(b, "%s_bucket{%s%sle=\"%g\"} %d\n", name, label, sep, bound, cum)
-	}
-	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, label, sep, cum)
-	if label == "" {
-		fmt.Fprintf(b, "%s_sum %g\n", name, h.sum)
-		fmt.Fprintf(b, "%s_count %d\n", name, h.n)
-	} else {
-		fmt.Fprintf(b, "%s_sum{%s} %g\n", name, label, h.sum)
-		fmt.Fprintf(b, "%s_count{%s} %d\n", name, label, h.n)
-	}
-}
-
-func sortedKeys2(m map[[2]string]int64) [][2]string {
-	keys := make([][2]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
-		}
-		return keys[i][1] < keys[j][1]
-	})
-	return keys
-}
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) { return m.reg.WriteTo(w) }

@@ -17,6 +17,8 @@ func TestMetricsExposition(t *testing.T) {
 	m.ObserveDecision("ldecode", 12)
 	m.ObserveShed()
 	m.SetModelsReady(2)
+	m.SetQueueDepth(3)
+	m.SetModelAge("ldecode", 12.5)
 
 	var b strings.Builder
 	if _, err := m.WriteTo(&b); err != nil {
@@ -37,6 +39,8 @@ func TestMetricsExposition(t *testing.T) {
 		`dvfsd_shed_total 1`,
 		`dvfsd_inflight_requests 0`,
 		`dvfsd_models_ready 2`,
+		`dvfsd_build_queue_depth 3`,
+		`dvfsd_model_age_seconds{model="ldecode"} 12.5`,
 		`# TYPE dvfsd_requests_total counter`,
 		`# TYPE dvfsd_request_duration_seconds histogram`,
 	} {
@@ -44,27 +48,7 @@ func TestMetricsExposition(t *testing.T) {
 			t.Errorf("exposition missing %q:\n%s", want, text)
 		}
 	}
-}
-
-func TestHistogramCumulativeBuckets(t *testing.T) {
-	h := newHistogram([]float64{1, 2, 4})
-	for _, v := range []float64{0.5, 1.5, 3, 100} {
-		h.observe(v)
-	}
-	if h.n != 4 {
-		t.Fatalf("n=%d", h.n)
-	}
-	// counts: ≤1:1, ≤2:1, ≤4:1, +Inf:1
-	for i, want := range []int64{1, 1, 1, 1} {
-		if h.counts[i] != want {
-			t.Errorf("bucket %d: %d want %d", i, h.counts[i], want)
-		}
-	}
-	// A value exactly on a bound lands in that bound's bucket (le is
-	// inclusive in Prometheus).
-	h2 := newHistogram([]float64{1, 2})
-	h2.observe(1)
-	if h2.counts[0] != 1 {
-		t.Errorf("boundary value not in le=1 bucket: %v", h2.counts)
+	if got := m.RequestCount("predict"); got != 3 {
+		t.Errorf("RequestCount(predict) = %d, want 3", got)
 	}
 }

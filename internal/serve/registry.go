@@ -76,6 +76,9 @@ type ModelStatus struct {
 type entry struct {
 	status ModelStatus
 	ctl    *core.Controller
+	// builtAt is when the servable controller was published (train
+	// completion, upload, or disk load) — the model-age gauge's anchor.
+	builtAt time.Time
 }
 
 // flight is a single-flight build: concurrent train requests for the
@@ -204,7 +207,8 @@ func (r *Registry) loadDir() error {
 			continue
 		}
 		r.entries[name] = &entry{
-			ctl: ctl,
+			ctl:     ctl,
+			builtAt: time.Now(),
 			status: ModelStatus{
 				Name: name, State: StateReady, Source: "disk",
 				Columns: ctl.Schema.Dim(), Selected: len(ctl.SelectedFeatureNames()),
@@ -285,6 +289,25 @@ func (r *Registry) Ready() int {
 	return n
 }
 
+// QueueDepth returns the number of builds waiting for a worker.
+func (r *Registry) QueueDepth() int { return len(r.queue) }
+
+// ModelAges returns, for every servable model, the seconds elapsed
+// since its controller was published (built, uploaded, or loaded from
+// disk) — what the dvfsd_model_age_seconds gauge reports at scrape
+// time.
+func (r *Registry) ModelAges(now time.Time) map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.entries))
+	for name, e := range r.entries {
+		if e.ctl != nil {
+			out[name] = now.Sub(e.builtAt).Seconds()
+		}
+	}
+	return out
+}
+
 // Train requests a (re)build of name. All builds run on the bounded
 // worker pool; concurrent requests for the same model are deduplicated
 // onto one flight, whose Wait the caller may use for synchronous
@@ -360,6 +383,7 @@ func (r *Registry) runBuild(task *buildTask) {
 		r.log.Error("model build failed", "name", task.name, "dur_sec", dur, "err", err)
 	} else {
 		e.ctl = ctl
+		e.builtAt = time.Now()
 		e.status.State = StateReady
 		e.status.Error = ""
 		e.status.Columns = ctl.Schema.Dim()
@@ -440,6 +464,7 @@ func (r *Registry) Upload(name string, src io.Reader) (ModelStatus, error) {
 		r.entries[name] = e
 	}
 	e.ctl = ctl
+	e.builtAt = time.Now()
 	e.status = st
 	r.mu.Unlock()
 

@@ -8,7 +8,11 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ServerOptions configures NewServer. The zero value of each field
@@ -30,6 +34,13 @@ type ServerOptions struct {
 	MaxBatch int
 	// MaxBodyBytes bounds request bodies; 0 → 8 MiB.
 	MaxBodyBytes int64
+	// Tracer, when non-nil, receives a one-shot DecisionEvent per
+	// served prediction (the job runs client-side, so no residual is
+	// ever attached; Done stays false).
+	Tracer *obs.Tracer
+	// EnableDebug mounts GET /debug/decisions (the tracer ring as
+	// JSON) and the net/http/pprof handlers under /debug/pprof/.
+	EnableDebug bool
 }
 
 // Server is the dvfsd HTTP front end: routing, per-request timeouts,
@@ -42,6 +53,8 @@ type Server struct {
 	sem     chan struct{}
 	maxB    int
 	maxBody int64
+	tracer  *obs.Tracer
+	start   time.Time
 	mux     *http.ServeMux
 }
 
@@ -73,6 +86,8 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 		sem:     make(chan struct{}, opts.MaxInflight),
 		maxB:    opts.MaxBatch,
 		maxBody: opts.MaxBodyBytes,
+		tracer:  opts.Tracer,
+		start:   time.Now(),
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -81,6 +96,14 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/models/{name}", s.guard("models_put", s.handleModelPut))
 	s.mux.HandleFunc("POST /v1/predict", s.guard("predict", s.handlePredict))
 	s.mux.HandleFunc("POST /v1/predict/batch", s.guard("predict_batch", s.handlePredictBatch))
+	if opts.EnableDebug {
+		s.mux.HandleFunc("GET /debug/decisions", s.handleDecisions)
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -176,8 +199,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.SetModelsReady(s.reg.Ready())
+	s.metrics.SetQueueDepth(s.reg.QueueDepth())
+	for name, age := range s.reg.ModelAges(time.Now()) {
+		s.metrics.SetModelAge(name, age)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = s.metrics.WriteTo(w)
+}
+
+// handleDecisions dumps the most recent decision events from the
+// tracer ring as JSON — a live tail of what the daemon is deciding,
+// without attaching a sink. ?n= bounds the count (default 100).
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "decision tracing disabled (start dvfsd with tracing enabled)"})
+		return
+	}
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("invalid n %q", q)})
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, s.tracer.Snapshot(n))
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
@@ -306,6 +353,31 @@ func (s *Server) predictOne(model string, job PredictJob) (PredictResponse, erro
 	}
 	p := ctl.PredictTrace(tr, job.Params, budget, job.PredictorSec, cur)
 	s.metrics.ObserveDecision(model, p.Target.Index)
+	if s.tracer != nil {
+		// One-shot: the job executes on the client, so the event is
+		// never completed with an actual time (Done stays false).
+		switchSec := 0.0
+		if ctl.Selector.Switch != nil {
+			switchSec = ctl.Selector.Switch.Lookup(cur.Index, p.Target.Index)
+		}
+		s.tracer.Emit(obs.DecisionEvent{
+			Workload:         model,
+			Governor:         "serve",
+			TimeSec:          time.Since(s.start).Seconds(),
+			FeatHash:         p.FeatHash,
+			Predicted:        true,
+			TFminSec:         p.TFminSec,
+			TFmaxSec:         p.TFmaxSec,
+			PredictedExecSec: p.PredictedExecSec,
+			Level:            p.Target.Index,
+			FreqKHz:          int64(p.Target.FreqHz / 1e3),
+			Margin:           ctl.Selector.Margin,
+			BudgetSec:        budget,
+			EffBudgetSec:     p.EffBudgetSec,
+			PredictorSec:     p.PredictorSec,
+			SwitchSec:        switchSec,
+		})
+	}
 	return PredictResponse{
 		Model:            model,
 		Level:            p.Target.Index,

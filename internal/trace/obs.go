@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"math"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// DecisionEvents converts a simulation result's per-job records into
+// completed obs.DecisionEvents, so a finished run can be re-emitted
+// through any obs sink (JSONL for dvfstrace, Chrome trace for
+// Perfetto). Records carry no feature hash, margin, or effective
+// budget — those exist only on the live controller path — but every
+// event is Done, and records with a prediction get the signed
+// residual.
+func DecisionEvents(r *sim.Result) []obs.DecisionEvent {
+	events := make([]obs.DecisionEvent, 0, len(r.Records))
+	for i, rec := range r.Records {
+		e := obs.DecisionEvent{
+			Seq:           uint64(i),
+			Workload:      r.Workload,
+			Governor:      r.Governor,
+			Job:           rec.Index,
+			TimeSec:       rec.StartSec,
+			Level:         rec.LevelIdx,
+			BudgetSec:     r.BudgetSec,
+			PredictorSec:  rec.PredictorSec,
+			SwitchSec:     rec.SwitchSec,
+			Done:          true,
+			ActualExecSec: rec.ExecSec,
+			Missed:        rec.Missed,
+		}
+		// JSON cannot encode NaN: governors that do not predict are
+		// marked with Predicted=false instead.
+		if !math.IsNaN(rec.PredictedExecSec) {
+			e.Predicted = true
+			e.PredictedExecSec = rec.PredictedExecSec
+			e.ResidualSec = rec.ExecSec - rec.PredictedExecSec
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// EmitDecisions replays a result through a sink and closes it.
+func EmitDecisions(sink obs.Sink, r *sim.Result) error {
+	for _, e := range DecisionEvents(r) {
+		e := e
+		sink.Emit(&e)
+	}
+	return sink.Close()
+}

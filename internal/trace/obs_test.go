@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestDecisionEvents(t *testing.T) {
+	events := DecisionEvents(sample())
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	e := events[0]
+	if e.Workload != "ldecode" || e.Governor != "prediction" || e.Job != 0 {
+		t.Errorf("identity fields: %+v", e)
+	}
+	if !e.Done || !e.Predicted || e.Level != 7 || e.BudgetSec != 0.05 {
+		t.Errorf("record mapping: %+v", e)
+	}
+	if diff := e.ResidualSec - (0.019 - 0.021); math.Abs(diff) > 1e-12 {
+		t.Errorf("residual = %g, want -0.002", e.ResidualSec)
+	}
+	// The NaN-predicted record maps to Predicted=false with zeroed
+	// prediction fields, keeping the events JSON-encodable.
+	m := events[1]
+	if m.Predicted || m.PredictedExecSec != 0 || m.ResidualSec != 0 {
+		t.Errorf("NaN record leaked prediction fields: %+v", m)
+	}
+	if !m.Missed || m.Level != 12 {
+		t.Errorf("miss record: %+v", m)
+	}
+}
+
+func TestEmitDecisionsJSONLRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := EmitDecisions(obs.NewJSONLSink(&b), sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obs.ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DecisionEvents(sample())
+	if len(got) != len(want) {
+		t.Fatalf("round trip returned %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
