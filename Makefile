@@ -1,7 +1,7 @@
 # Local mirror of .github/workflows/ci.yml: `make check` runs the
 # exact gate CI enforces.
 
-.PHONY: check fmt vet build test lint bench serve-bench obs-bench trace-smoke
+.PHONY: check fmt vet build test lint bench serve-bench obs-bench trace-smoke replay-smoke replay-bench
 
 check: fmt vet build test lint
 
@@ -40,6 +40,28 @@ trace-smoke:
 	go run ./cmd/dvfssim -workload sha -governor prediction -jobs 100 -trace /tmp/trace-smoke.jsonl
 	go run ./cmd/dvfstrace -input /tmp/trace-smoke.jsonl
 	go run ./cmd/dvfstrace -input /tmp/trace-smoke.jsonl -format json > /dev/null
+
+# Counterfactual-replay smoke: trace a prediction run, replay it with
+# the energy-ordering assertion (oracle ≤ traced ≤ performance), and
+# prove the report is bit-identical across runs of the same trace+seed.
+replay-smoke:
+	go build -o bin/dvfssim ./cmd/dvfssim
+	go build -o bin/dvfsreplay ./cmd/dvfsreplay
+	./bin/dvfssim -workload sha -governor prediction -jobs 100 -trace /tmp/replay-smoke.jsonl
+	./bin/dvfsreplay -input /tmp/replay-smoke.jsonl -check -html /tmp/replay-smoke.html > /tmp/replay-smoke-1.txt
+	./bin/dvfsreplay -input /tmp/replay-smoke.jsonl -check > /tmp/replay-smoke-2.txt
+	cmp /tmp/replay-smoke-1.txt /tmp/replay-smoke-2.txt
+	@echo "replay-smoke: ordering holds and output is bit-identical"
+
+# Replay benchmark: seeded ldecode trace → BENCH_replay.json, compared
+# against the committed baseline (fails on >5% energy / >5-point miss
+# regression). Regenerate the baseline by copying the fresh document.
+replay-bench:
+	go build -o bin/dvfssim ./cmd/dvfssim
+	go build -o bin/dvfsreplay ./cmd/dvfsreplay
+	./bin/dvfssim -workload ldecode -governor prediction -jobs 200 -seed 1 -trace /tmp/replay-bench.jsonl
+	./bin/dvfsreplay -input /tmp/replay-bench.jsonl -seed 1 -json BENCH_replay.new.json \
+		-baseline BENCH_replay.json -max-regress 5 > /dev/null
 
 # Serving benchmark: start dvfsd, train through the API, replay a job
 # stream, write BENCH_serve.json. Tunables: SERVE_JOBS, SERVE_CONNS.

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"strings"
@@ -260,5 +261,95 @@ func TestCLIDvfslintFlagsCraftedProgram(t *testing.T) {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// dvfsreplay failure paths: unknown format/platform, bad tolerances,
+// and a replayable-events check on empty input.
+func TestCLIDvfsreplayRejectsBadUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown format", []string{"./cmd/dvfsreplay", "-input", "x", "-format", "xml"}, "unknown format"},
+		{"unknown platform", []string{"./cmd/dvfsreplay", "-input", "x", "-platform", "quantum"}, "unknown platform"},
+		{"negative last", []string{"./cmd/dvfsreplay", "-input", "x", "-last", "-1"}, "-last must be non-negative"},
+		{"bad tolerance", []string{"./cmd/dvfsreplay", "-input", "x", "-max-regress", "0"}, "-max-regress must be positive"},
+		{"unreadable input", []string{"./cmd/dvfsreplay", "-input", "/nonexistent/x.jsonl"}, "no such file"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			out := failCLI(t, tc.args...)
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+// End-to-end replay round trip, including the stdin pipe mode the
+// quickstart advertises: dvfssim -trace - | dvfsreplay.
+func TestCLISimTraceIntoDvfsreplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	// Pipe mode: -trace - puts the JSONL on stdout, summary on stderr.
+	sim := exec.Command("go", "run", "./cmd/dvfssim",
+		"-workload", "sha", "-governor", "prediction", "-jobs", "50", "-trace", "-")
+	jsonl, err := sim.Output()
+	if err != nil {
+		t.Fatalf("dvfssim -trace -: %v", err)
+	}
+	if len(jsonl) == 0 || jsonl[0] != '{' {
+		t.Fatalf("stdout is not JSONL:\n%.200s", jsonl)
+	}
+
+	dir := t.TempDir()
+	bench := dir + "/BENCH_replay.json"
+	html := dir + "/report.html"
+	replayCmd := exec.Command("go", "run", "./cmd/dvfsreplay",
+		"-check", "-json", bench, "-html", html)
+	replayCmd.Stdin = bytes.NewReader(jsonl)
+	out, err := replayCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("dvfsreplay: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"sha / prediction", "traced", "oracle", "performance",
+		"margin sweep", "energy ordering check passed",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("replay output missing %q:\n%s", want, out)
+		}
+	}
+	page, err := os.ReadFile(html)
+	if err != nil || !strings.Contains(string(page), "<svg") {
+		t.Errorf("HTML report missing or chartless: %v", err)
+	}
+
+	// The bench document round-trips as its own baseline.
+	again := exec.Command("go", "run", "./cmd/dvfsreplay", "-baseline", bench)
+	again.Stdin = bytes.NewReader(jsonl)
+	out, err = again.CombinedOutput()
+	if err != nil {
+		t.Fatalf("baseline self-compare: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "baseline comparison passed") {
+		t.Errorf("missing baseline pass message:\n%s", out)
+	}
+
+	// The shared filter flags slice the same log in both tools.
+	tr := exec.Command("go", "run", "./cmd/dvfstrace", "-input", "-", "-last", "10")
+	tr.Stdin = bytes.NewReader(jsonl)
+	out, err = tr.CombinedOutput()
+	if err != nil {
+		t.Fatalf("dvfstrace -last: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "events      10 ") {
+		t.Errorf("filtered report should count 10 events:\n%s", out)
 	}
 }

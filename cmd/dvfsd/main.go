@@ -12,7 +12,8 @@
 // GET /v1/models, POST /v1/predict, POST /v1/predict/batch,
 // GET /healthz, GET /metrics (Prometheus text format), and — unless
 // -debug=false — GET /debug/decisions (recent decision events as
-// JSON) plus the net/http/pprof handlers under /debug/pprof/.
+// JSON), GET /debug/slo (per-workload deadline-miss burn rates) plus
+// the net/http/pprof handlers under /debug/pprof/.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener drains
 // in-flight requests, then the registry drains in-flight builds.
@@ -49,6 +50,9 @@ func main() {
 	preload := flag.String("preload", "", "comma-separated workloads to train at startup")
 	tracePath := flag.String("trace", "", "append decision events as JSONL to this path (dvfstrace reads it)")
 	debug := flag.Bool("debug", true, "serve /debug/decisions and /debug/pprof/")
+	sloTarget := flag.Float64("slo-target", 0.01, "deadline-miss SLO target per workload (0 disables burn-rate tracking)")
+	sloFast := flag.Int("slo-fast", 128, "fast burn-rate window in jobs")
+	sloSlow := flag.Int("slo-slow", 2048, "slow burn-rate window in jobs")
 	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -58,7 +62,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *data, *platName, *workers, *queue, *maxInflight, *timeout, *seed, *preload, *tracePath, *debug, log); err != nil {
+	if *sloTarget < 0 || *sloTarget >= 1 {
+		fmt.Fprintln(os.Stderr, "dvfsd: -slo-target must be in [0, 1)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, *data, *platName, *workers, *queue, *maxInflight, *timeout, *seed, *preload, *tracePath, *debug, *sloTarget, *sloFast, *sloSlow, log); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsd:", err)
 		if errors.Is(err, errUsage) {
 			flag.Usage()
@@ -71,7 +80,7 @@ func main() {
 // errUsage marks validation errors that warrant the usage text.
 var errUsage = errors.New("invalid usage")
 
-func run(addr, data, platName string, workers, queue, maxInflight int, timeout time.Duration, seed int64, preload, tracePath string, debug bool, log *slog.Logger) error {
+func run(addr, data, platName string, workers, queue, maxInflight int, timeout time.Duration, seed int64, preload, tracePath string, debug bool, sloTarget float64, sloFast, sloSlow int, log *slog.Logger) error {
 	// Validate everything up front: a daemon must not come up half
 	// configured.
 	plat, err := platform.ByName(platName)
@@ -105,12 +114,31 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 		defer f.Close()
 		sinks = append(sinks, obs.NewJSONLSink(f))
 	}
+	// SLO burn-rate tracking: every completed decision event feeds a
+	// per-workload deadline-miss SLO with fast/slow burn-rate windows;
+	// burn rates and the alert bit land on the shared /metrics page and
+	// GET /debug/slo, and the drift monitor's stale warnings carry the
+	// current burn rates for correlation.
+	var slo *obs.SLOTracker
+	if sloTarget > 0 {
+		slo = obs.NewSLOTracker(obs.SLOConfig{
+			Target:     sloTarget,
+			FastWindow: sloFast,
+			SlowWindow: sloSlow,
+			Log:        log,
+			BurnGauge: metrics.Registry().GaugeVec("dvfsd_slo_burn_rate",
+				"Deadline-miss rate over a recent window divided by the SLO target.", "workload", "window"),
+			AlertGauge: metrics.Registry().GaugeVec("dvfsd_slo_alert",
+				"1 while a workload's fast and slow burn rates both exceed their thresholds.", "workload"),
+		})
+	}
 	drift := obs.NewDriftMonitor(obs.DriftConfig{
 		Log: log,
 		StaleGauge: metrics.Registry().GaugeVec("dvfsd_model_stale",
 			"1 when a model's recent under-prediction rate exceeds the trained quantile.", "workload"),
+		SLO: slo,
 	})
-	tracer := obs.NewTracer(obs.TracerOptions{Sinks: sinks, Drift: drift})
+	tracer := obs.NewTracer(obs.TracerOptions{Sinks: sinks, Drift: drift, SLO: slo})
 	defer func() {
 		if err := tracer.Close(); err != nil {
 			log.Error("closing decision trace", "err", err)
@@ -138,6 +166,7 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 		MaxInflight:    maxInflight,
 		Tracer:         tracer,
 		EnableDebug:    debug,
+		SLO:            slo,
 	})
 	for _, name := range preloads {
 		if _, _, err := reg.Train(name, serve.TrainConfig{Seed: seed}); err != nil {

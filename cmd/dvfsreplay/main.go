@@ -1,0 +1,182 @@
+// Command dvfsreplay is the offline counterfactual-analysis tool over
+// decision logs: it reconstructs the energy the traced policy spent
+// (attributed to execution, predictor, DVFS switches, and idle slack)
+// and replays every decision under counterfactual policies — oracle,
+// performance, powersave, the PID baseline, and what-if margin/α
+// sweeps of the predictor — without re-running the workload.
+//
+// Usage:
+//
+//	dvfssim -workload ldecode -governor prediction -trace - | dvfsreplay -html report.html
+//	dvfsreplay -input dec.jsonl -platform a7 -format json
+//	dvfsreplay -input dec.jsonl -json BENCH_replay.json -baseline BENCH_replay.json -max-regress 5
+//	dvfsreplay -input dec.jsonl -check
+//
+// -baseline compares against a committed BENCH_replay.json and exits
+// 1 when energy regresses more than -max-regress percent (or a miss
+// rate by more than -max-regress points). -check asserts the physical
+// ordering every healthy prediction trace satisfies: oracle ≤ traced
+// ≤ performance energy.
+//
+// Exit status: 0 on success, 2 on usage errors, 1 on analysis
+// failures, regressions, or ordering violations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/replay"
+)
+
+func main() {
+	input := flag.String("input", "-", "JSONL decision log to replay (- for stdin)")
+	platName := flag.String("platform", "a7", "platform the trace was recorded on: a7, x86, biglittle")
+	seed := flag.Int64("seed", 1, "seed for counterfactual switch-latency jitter (same seed → bit-identical output)")
+	rho := flag.Float64("rho", 0, "fallback memory-time fraction for cross-frequency time translation (0 → 0.3; predicted jobs estimate it from the trace)")
+	alpha := flag.Float64("alpha", 100, "α the traced model was trained with (anchors the α sweep)")
+	format := flag.String("format", "text", "stdout format: text or json")
+	jsonOut := flag.String("json", "", "also write the machine-readable bench document to this file")
+	htmlOut := flag.String("html", "", "also write a self-contained HTML report to this file")
+	baseline := flag.String("baseline", "", "compare against this committed bench document and fail on regression")
+	maxRegress := flag.Float64("max-regress", 5, "regression tolerance: energy percent / miss-rate points vs -baseline")
+	check := flag.Bool("check", false, "assert oracle ≤ traced ≤ performance energy ordering per group")
+	var filter obs.EventFilter
+	filter.RegisterFilterFlags(flag.CommandLine)
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
+	flag.Parse()
+
+	usageErr := func(err error) {
+		fmt.Fprintln(os.Stderr, "dvfsreplay:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	log, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		usageErr(err)
+	}
+	if *format != "text" && *format != "json" {
+		usageErr(fmt.Errorf("unknown format %q (use text or json)", *format))
+	}
+	if filter.Last < 0 {
+		usageErr(fmt.Errorf("-last must be non-negative"))
+	}
+	if *maxRegress <= 0 {
+		usageErr(fmt.Errorf("-max-regress must be positive"))
+	}
+	plat, err := platform.ByName(*platName)
+	if err != nil {
+		usageErr(err)
+	}
+	var rd io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			usageErr(err)
+		}
+		defer f.Close()
+		rd = f
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dvfsreplay:", err)
+		os.Exit(1)
+	}
+	events, err := obs.ReadJSONL(rd)
+	if err != nil {
+		fail(err)
+	}
+	events = filter.Apply(events)
+	res, err := replay.Run(events, replay.Options{
+		Plat:        plat,
+		Seed:        *seed,
+		Rho:         *rho,
+		TracedAlpha: *alpha,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if len(res.Groups) == 0 {
+		fail(fmt.Errorf("no replayable (completed) events in the log after filtering"))
+	}
+
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail(err)
+		}
+	} else {
+		res.WriteText(os.Stdout)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.WriteJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.WriteHTML(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+
+	exit := 0
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		base, err := replay.ReadBench(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		regressions, notes := replay.Compare(res, base, replay.CompareOptions{
+			MaxEnergyRegressPct: *maxRegress,
+			MaxMissRegressPts:   *maxRegress,
+		})
+		for _, n := range notes {
+			log.Info("baseline drift", "note", n)
+		}
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "dvfsreplay: REGRESSION:", r)
+			exit = 1
+		}
+		if len(regressions) == 0 {
+			fmt.Fprintf(os.Stderr, "dvfsreplay: baseline comparison passed (%d groups, tolerance %.1f%%)\n",
+				len(res.Groups), *maxRegress)
+		}
+	}
+	if *check {
+		if viol := res.CheckOrdering(1); len(viol) > 0 {
+			for _, v := range viol {
+				fmt.Fprintln(os.Stderr, "dvfsreplay: ORDERING:", v)
+			}
+			exit = 1
+		} else {
+			fmt.Fprintln(os.Stderr, "dvfsreplay: energy ordering check passed (oracle ≤ traced ≤ performance)")
+		}
+	}
+	os.Exit(exit)
+}

@@ -7,6 +7,11 @@
 //	dvfssim -workload ldecode -governor prediction [-budget 0.05]
 //	        [-jobs 300] [-seed 1] [-idle] [-csv trace.csv] [-json sum.json]
 //	        [-trace dec.jsonl] [-chrome trace.json]
+//
+// -trace - writes the decision JSONL to stdout (and the human summary
+// to stderr), so runs pipe straight into dvfsreplay / dvfstrace:
+//
+//	dvfssim -workload ldecode -trace - | dvfsreplay -html report.html
 package main
 
 import (
@@ -99,12 +104,18 @@ func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, c
 		return err
 	}
 
-	// Decision sinks. With a prediction controller the tracer rides
-	// along live — JobStart/JobEnd publish completed events with
-	// in-process residuals, feature hashes, and budget attribution.
-	// Other governors get the post-run adapter over the job records.
+	// Decision sinks. With a prediction controller a live tracer
+	// captures what only the controller sees (feature hashes, raw
+	// tfmin/tfmax, the §3.4 budget ledger) into memory, and after the
+	// run trace.MergeDecisions overlays the simulator's ground truth
+	// (wall-clock misses, measured switch times, from-levels) before
+	// the merged events reach the sinks — the union is what dvfsreplay
+	// needs for exact energy reconstruction. Other governors get the
+	// post-run adapter over the job records directly. A path of "-"
+	// writes the sink to stdout and moves the human summary to stderr.
 	var sinks []obs.Sink
 	var sinkPaths []string
+	summary := os.Stdout
 	for _, p := range []struct {
 		path string
 		mk   func(f *os.File) obs.Sink
@@ -115,19 +126,24 @@ func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, c
 		if p.path == "" {
 			continue
 		}
-		f, err := os.Create(p.path)
-		if err != nil {
-			return err
+		f := os.Stdout
+		if p.path == "-" {
+			summary = os.Stderr
+		} else {
+			var err error
+			if f, err = os.Create(p.path); err != nil {
+				return err
+			}
+			defer f.Close()
 		}
-		defer f.Close()
 		sinks = append(sinks, p.mk(f))
 		sinkPaths = append(sinkPaths, p.path)
 	}
-	liveTrace := false
+	var mem *obs.MemorySink
 	if len(sinks) > 0 {
 		if ctl, ok := g.(*core.Controller); ok {
-			ctl.SetTracer(obs.NewTracer(obs.TracerOptions{Sinks: sinks}))
-			liveTrace = true
+			mem = &obs.MemorySink{}
+			ctl.SetTracer(obs.NewTracer(obs.TracerOptions{Sinks: []obs.Sink{mem}}))
 		}
 	}
 
@@ -148,32 +164,33 @@ func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, c
 		return err
 	}
 	if len(sinks) > 0 {
-		if liveTrace {
-			if err := g.(*core.Controller).Tracer().Close(); err != nil {
-				return err
+		events := trace.DecisionEvents(r)
+		if mem != nil {
+			events = trace.MergeDecisions(mem.Events(), r)
+		}
+		for _, s := range sinks {
+			for i := range events {
+				s.Emit(&events[i])
 			}
-		} else {
-			for _, s := range sinks {
-				if err := trace.EmitDecisions(s, r); err != nil {
-					return err
-				}
+			if err := s.Close(); err != nil {
+				return err
 			}
 		}
 	}
 
-	fmt.Printf("workload   %s (%s)\n", w.Name, w.TaskDesc)
-	fmt.Printf("governor   %s\n", r.Governor)
-	fmt.Printf("budget     %.3f s x %d jobs\n", r.BudgetSec, len(r.Records))
-	fmt.Printf("energy     %.4f J (sensor estimate %.4f J)\n", r.EnergyJ, r.SensorEnergyJ)
-	fmt.Printf("misses     %d (%.2f%%)\n", r.Misses, 100*r.MissRate())
-	fmt.Printf("overheads  predictor %.3f ms/job, dvfs switch %.3f ms/job\n",
+	fmt.Fprintf(summary, "workload   %s (%s)\n", w.Name, w.TaskDesc)
+	fmt.Fprintf(summary, "governor   %s\n", r.Governor)
+	fmt.Fprintf(summary, "budget     %.3f s x %d jobs\n", r.BudgetSec, len(r.Records))
+	fmt.Fprintf(summary, "energy     %.4f J (sensor estimate %.4f J)\n", r.EnergyJ, r.SensorEnergyJ)
+	fmt.Fprintf(summary, "misses     %d (%.2f%%)\n", r.Misses, 100*r.MissRate())
+	fmt.Fprintf(summary, "overheads  predictor %.3f ms/job, dvfs switch %.3f ms/job\n",
 		r.MeanPredictorSec()*1e3, r.MeanSwitchSec()*1e3)
 	b := r.Breakdown
-	fmt.Printf("breakdown  exec %.3f J, idle %.3f J, switch %.3f J, predictor %.3f J\n",
+	fmt.Fprintf(summary, "breakdown  exec %.3f J, idle %.3f J, switch %.3f J, predictor %.3f J\n",
 		b.ExecJ, b.IdleJ, b.SwitchJ, b.PredictorJ)
 
 	for _, p := range sinkPaths {
-		fmt.Printf("decisions  %s\n", p)
+		fmt.Fprintf(summary, "decisions  %s\n", p)
 	}
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
@@ -184,7 +201,7 @@ func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, c
 		if err := trace.WriteCSV(f, r); err != nil {
 			return err
 		}
-		fmt.Printf("trace      %s\n", csvPath)
+		fmt.Fprintf(summary, "trace      %s\n", csvPath)
 	}
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
@@ -195,7 +212,7 @@ func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, c
 		if err := trace.WriteJSON(f, r); err != nil {
 			return err
 		}
-		fmt.Printf("summary    %s\n", jsonPath)
+		fmt.Fprintf(summary, "summary    %s\n", jsonPath)
 	}
 	return nil
 }

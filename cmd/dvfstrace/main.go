@@ -8,6 +8,11 @@
 // Usage:
 //
 //	dvfstrace -input dec.jsonl [-format text|json]
+//	          [-workload w] [-since sec] [-last n]
+//
+// -input - reads the log from stdin, so it composes with
+// `dvfssim -trace -`. The filter flags slice large production logs
+// without external tooling and are shared verbatim with dvfsreplay.
 //
 // Exit status: 0 on success, 2 on usage errors (unknown flag, missing
 // or unreadable input), 1 on analysis failures.
@@ -17,14 +22,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/obs"
 )
 
 func main() {
-	input := flag.String("input", "", "JSONL decision log to analyze (required)")
+	input := flag.String("input", "", "JSONL decision log to analyze (required; - for stdin)")
 	format := flag.String("format", "text", "output format: text or json")
+	var filter obs.EventFilter
+	filter.RegisterFilterFlags(flag.CommandLine)
 	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -42,17 +50,25 @@ func main() {
 	if *format != "text" && *format != "json" {
 		usageErr(fmt.Errorf("unknown format %q (use text or json)", *format))
 	}
-	f, err := os.Open(*input)
-	if err != nil {
-		usageErr(err)
+	if filter.Last < 0 {
+		usageErr(fmt.Errorf("-last must be non-negative"))
 	}
-	defer f.Close()
+	var rd io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			usageErr(err)
+		}
+		defer f.Close()
+		rd = f
+	}
 
-	events, err := obs.ReadJSONL(f)
+	events, err := obs.ReadJSONL(rd)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dvfstrace:", err)
 		os.Exit(1)
 	}
+	events = filter.Apply(events)
 	report := obs.Analyze(events)
 	if *format == "json" {
 		enc := json.NewEncoder(os.Stdout)

@@ -562,6 +562,9 @@ func (c *Controller) decisionEvent(job *governor.Job, cur platform.Level, p Pred
 		Governor:         c.Name(),
 		Job:              job.Index,
 		TimeSec:          job.DeadlineSec - job.RemainingBudgetSec,
+		ReleaseSec:       job.ReleaseSec,
+		DeadlineSec:      job.DeadlineSec,
+		FromLevel:        cur.Index,
 		FeatHash:         p.FeatHash,
 		Predicted:        true,
 		TFminSec:         p.TFminSec,

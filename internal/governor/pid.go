@@ -27,7 +27,7 @@ type PID struct {
 	// the controller translate execution times across frequencies.
 	MemFraction float64
 	// Margin inflates the estimate like the predictive controller's
-	// margin; zero selects 0.10.
+	// margin; zero selects 0.15.
 	Margin float64
 
 	// Controller state.

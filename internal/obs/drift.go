@@ -31,6 +31,11 @@ type DriftConfig struct {
 	// StaleGauge, when non-nil, is set to 1/0 per workload on
 	// staleness transitions (the dvfsd `dvfsd_model_stale` gauge).
 	StaleGauge *GaugeVec
+	// SLO, when non-nil, lets staleness warnings report the workload's
+	// current deadline-miss burn rates alongside the residual drift —
+	// the operator's first question after "the model drifted" is
+	// "is it costing us the SLO yet?".
+	SLO *SLOTracker
 }
 
 func (c DriftConfig) withDefaults() DriftConfig {
@@ -128,9 +133,18 @@ func (d *DriftMonitor) Observe(workload string, residualSec float64) {
 	}
 	if d.cfg.Log != nil {
 		if *transition {
-			d.cfg.Log.Warn("prediction model stale: under-prediction rate exceeds trained α-quantile",
+			args := []any{
 				"workload", workload, "under_rate", rate,
-				"max_under_rate", d.cfg.MaxUnderRate, "window", n)
+				"max_under_rate", d.cfg.MaxUnderRate, "window", n,
+			}
+			if d.cfg.SLO != nil {
+				fast, slow := d.cfg.SLO.BurnRates(workload)
+				if !math.IsNaN(fast) {
+					args = append(args, "slo_fast_burn", fast, "slo_slow_burn", slow)
+				}
+			}
+			d.cfg.Log.Warn("prediction model stale: under-prediction rate exceeds trained α-quantile",
+				args...)
 		} else {
 			d.cfg.Log.Info("prediction model recovered", "workload", workload, "under_rate", rate)
 		}

@@ -5,6 +5,7 @@ import (
 	"log/slog"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -88,5 +89,43 @@ func TestDriftMonitorQuantilesAndIsolation(t *testing.T) {
 	// a only.
 	if !d.Stale("a") || d.Stale("b") {
 		t.Errorf("stale(a)=%v stale(b)=%v, want true/false", d.Stale("a"), d.Stale("b"))
+	}
+}
+
+// The monitor is shared between the request path (Observe) and the
+// metrics/debug paths (Stale, UnderRate, Quantile, Workloads); all four
+// must be safe to call concurrently. Run under -race.
+func TestDriftMonitorConcurrent(t *testing.T) {
+	d := NewDriftMonitor(DriftConfig{Window: 64, MinSamples: 8})
+	workloads := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w := workloads[(g+i)%len(workloads)]
+				d.Observe(w, float64(i%7)-3)
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w := workloads[(g+i)%len(workloads)]
+				d.Stale(w)
+				d.UnderRate(w)
+				d.Quantile(w, 0.5)
+				d.Workloads()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, w := range workloads {
+		if n := d.Quantile(w, 0.5); math.IsNaN(n) {
+			t.Errorf("workload %s unobserved after concurrent run", w)
+		}
 	}
 }

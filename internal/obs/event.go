@@ -38,6 +38,13 @@ type DecisionEvent struct {
 	// TimeSec is the decision time on the source's clock (simulated
 	// time in the simulator, seconds since process start in dvfsd).
 	TimeSec float64 `json:"time_sec"`
+	// ReleaseSec and DeadlineSec are the job's release and absolute
+	// deadline on the same clock. Zero on events from sources that do
+	// not know them (e.g. dvfsd one-shot predictions); replay treats
+	// DeadlineSec > 0 as the marker that the scheduling fields
+	// (including FromLevel) are populated.
+	ReleaseSec  float64 `json:"release_sec,omitempty"`
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
 	// FeatHash is an FNV-1a hash of the vectorized feature vector —
 	// enough to correlate decisions made for identical inputs without
 	// shipping the features themselves.
@@ -55,6 +62,11 @@ type DecisionEvent struct {
 	// Level is the chosen DVFS level index; FreqKHz its clock rate.
 	Level   int   `json:"level"`
 	FreqKHz int64 `json:"freq_khz,omitempty"`
+	// FromLevel is the level the platform was running at when the
+	// decision was made (the switch source). Only meaningful when
+	// DeadlineSec > 0 — older logs predate the field and a bare zero
+	// would alias the highest-frequency level index.
+	FromLevel int `json:"from_level,omitempty"`
 	// Margin is the safety-margin fraction applied to predictions.
 	Margin float64 `json:"margin,omitempty"`
 	// BudgetSec is the job's remaining budget at decision time;
@@ -67,6 +79,11 @@ type DecisionEvent struct {
 	EffBudgetSec float64 `json:"eff_budget_sec,omitempty"`
 	PredictorSec float64 `json:"predictor_sec,omitempty"`
 	SwitchSec    float64 `json:"switch_sec,omitempty"`
+	// MeasSwitchSec is the measured (jitter-sampled) transition time the
+	// platform actually spent switching FromLevel → Level, as opposed to
+	// SwitchSec's worst-case table estimate. Populated by the simulator
+	// record adapter; zero when the source cannot measure it.
+	MeasSwitchSec float64 `json:"meas_switch_sec,omitempty"`
 	// Done reports that the job finished and the outcome fields below
 	// are valid.
 	Done bool `json:"done"`

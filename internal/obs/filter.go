@@ -1,0 +1,58 @@
+package obs
+
+import "flag"
+
+// EventFilter slices a decision log the way an operator slices a
+// production JSONL file: by workload, by source-clock time, and to the
+// most recent N events. The zero value passes everything through.
+// dvfstrace and dvfsreplay register the same flags via
+// RegisterFilterFlags, so a filter expression learned on one tool
+// transfers to the other.
+type EventFilter struct {
+	// Workload, when non-empty, keeps only events for that workload.
+	Workload string
+	// SinceSec, when positive, keeps only events with TimeSec ≥ it.
+	SinceSec float64
+	// Last, when positive, keeps only the last N events surviving the
+	// other criteria (applied after Workload and SinceSec).
+	Last int
+}
+
+// IsZero reports whether the filter passes everything through.
+func (f EventFilter) IsZero() bool {
+	return f.Workload == "" && f.SinceSec <= 0 && f.Last <= 0
+}
+
+// Apply returns the events surviving the filter, preserving order.
+// With a zero filter the input slice is returned as-is.
+func (f EventFilter) Apply(events []DecisionEvent) []DecisionEvent {
+	if f.IsZero() {
+		return events
+	}
+	out := events
+	if f.Workload != "" || f.SinceSec > 0 {
+		out = make([]DecisionEvent, 0, len(events))
+		for i := range events {
+			e := &events[i]
+			if f.Workload != "" && e.Workload != f.Workload {
+				continue
+			}
+			if f.SinceSec > 0 && e.TimeSec < f.SinceSec {
+				continue
+			}
+			out = append(out, *e)
+		}
+	}
+	if f.Last > 0 && len(out) > f.Last {
+		out = out[len(out)-f.Last:]
+	}
+	return out
+}
+
+// RegisterFilterFlags registers -workload, -since, and -last on fs,
+// writing into f.
+func (f *EventFilter) RegisterFilterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&f.Workload, "workload", "", "keep only events for this workload")
+	fs.Float64Var(&f.SinceSec, "since", 0, "keep only events at or after this source-clock time (seconds)")
+	fs.IntVar(&f.Last, "last", 0, "keep only the last N events after other filters")
+}

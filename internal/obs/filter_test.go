@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"flag"
+	"testing"
+)
+
+func filterEvents() []DecisionEvent {
+	return []DecisionEvent{
+		{Seq: 0, Workload: "ldecode", TimeSec: 0.0, Job: 0},
+		{Seq: 1, Workload: "sha", TimeSec: 0.1, Job: 0},
+		{Seq: 2, Workload: "ldecode", TimeSec: 0.2, Job: 1},
+		{Seq: 3, Workload: "sha", TimeSec: 0.3, Job: 1},
+		{Seq: 4, Workload: "ldecode", TimeSec: 0.4, Job: 2},
+	}
+}
+
+func seqs(events []DecisionEvent) []uint64 {
+	out := make([]uint64, len(events))
+	for i, e := range events {
+		out[i] = e.Seq
+	}
+	return out
+}
+
+func TestEventFilterApply(t *testing.T) {
+	in := filterEvents()
+	for _, tc := range []struct {
+		name string
+		f    EventFilter
+		want []uint64
+	}{
+		{"zero passes all", EventFilter{}, []uint64{0, 1, 2, 3, 4}},
+		{"workload", EventFilter{Workload: "sha"}, []uint64{1, 3}},
+		{"since", EventFilter{SinceSec: 0.2}, []uint64{2, 3, 4}},
+		{"last", EventFilter{Last: 2}, []uint64{3, 4}},
+		{"last larger than input", EventFilter{Last: 99}, []uint64{0, 1, 2, 3, 4}},
+		{"workload then last", EventFilter{Workload: "ldecode", Last: 2}, []uint64{2, 4}},
+		{"all criteria", EventFilter{Workload: "ldecode", SinceSec: 0.1, Last: 1}, []uint64{4}},
+		{"nothing survives", EventFilter{Workload: "nope"}, []uint64{}},
+	} {
+		got := seqs(tc.f.Apply(in))
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestEventFilterZeroReturnsInputSlice(t *testing.T) {
+	in := filterEvents()
+	out := EventFilter{}.Apply(in)
+	if &out[0] != &in[0] {
+		t.Error("zero filter should return the input slice without copying")
+	}
+	if !(EventFilter{}).IsZero() {
+		t.Error("zero value not IsZero")
+	}
+	if (EventFilter{Last: 1}).IsZero() {
+		t.Error("Last=1 reported IsZero")
+	}
+}
+
+func TestRegisterFilterFlags(t *testing.T) {
+	var f EventFilter
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.RegisterFilterFlags(fs)
+	if err := fs.Parse([]string{"-workload", "sha", "-since", "1.5", "-last", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Workload != "sha" || f.SinceSec != 1.5 || f.Last != 10 {
+		t.Fatalf("parsed filter = %+v", f)
+	}
+}

@@ -20,6 +20,12 @@ type Report struct {
 	Events         int `json:"events"`
 	Completed      int `json:"completed"`
 	WithPrediction int `json:"with_prediction"`
+	// SeqGaps counts sequence numbers missing from the log: the span
+	// from the lowest to the highest Seq seen, minus the distinct Seqs
+	// present. Non-zero means events were lost (ring overwrites, a
+	// truncated file) — or deliberately excluded by a filter; either
+	// way, aggregate numbers below describe an incomplete stream.
+	SeqGaps int `json:"seq_gaps,omitempty"`
 	// Workloads lists the distinct workloads seen, sorted.
 	Workloads []string `json:"workloads"`
 	// Misses and MissRate summarize deadline outcomes over completed
@@ -72,6 +78,8 @@ func Analyze(events []DecisionEvent) Report {
 	r := Report{Events: len(events)}
 	seen := map[string]bool{}
 	levels := map[int]int{}
+	seqs := map[uint64]bool{}
+	var minSeq, maxSeq uint64
 	var residuals []float64
 	under := 0
 	var predSum, swSum, budSum, effSum float64
@@ -80,6 +88,13 @@ func Analyze(events []DecisionEvent) Report {
 		e := &events[i]
 		seen[e.Workload] = true
 		levels[e.Level]++
+		if len(seqs) == 0 || e.Seq < minSeq {
+			minSeq = e.Seq
+		}
+		if len(seqs) == 0 || e.Seq > maxSeq {
+			maxSeq = e.Seq
+		}
+		seqs[e.Seq] = true
 		predSum += e.PredictorSec
 		swSum += e.SwitchSec
 		if e.BudgetSec > 0 {
@@ -106,6 +121,11 @@ func Analyze(events []DecisionEvent) Report {
 		r.Workloads = append(r.Workloads, w)
 	}
 	sort.Strings(r.Workloads)
+	if n := len(seqs); n > 0 {
+		if span := int(maxSeq-minSeq) + 1; span > n {
+			r.SeqGaps = span - n
+		}
+	}
 	if r.Completed > 0 {
 		r.MissRate = float64(r.Misses) / float64(r.Completed)
 	}
@@ -156,6 +176,9 @@ func (r Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "events      %d (%d completed, %d with predictions)\n",
 		r.Events, r.Completed, r.WithPrediction)
 	fmt.Fprintf(w, "workloads   %s\n", strings.Join(r.Workloads, ", "))
+	if r.SeqGaps > 0 {
+		fmt.Fprintf(w, "dropped     %d sequence gaps — events lost (ring overwrite, truncation) or filtered out; aggregates below are over an incomplete stream\n", r.SeqGaps)
+	}
 	if r.Completed > 0 {
 		fmt.Fprintf(w, "misses      %d (%.2f%% of completed jobs)\n", r.Misses, 100*r.MissRate)
 	}

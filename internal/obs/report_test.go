@@ -99,3 +99,24 @@ func TestReportWriteText(t *testing.T) {
 		t.Errorf("empty report:\n%s", e.String())
 	}
 }
+
+func TestAnalyzeSeqGaps(t *testing.T) {
+	events := []DecisionEvent{
+		{Seq: 3, Workload: "w", Done: true},
+		{Seq: 5, Workload: "w", Done: true},
+		{Seq: 9, Workload: "w", Done: true},
+	}
+	r := Analyze(events)
+	// Span 3..9 holds 7 sequence numbers; 3 are present.
+	if r.SeqGaps != 4 {
+		t.Fatalf("SeqGaps = %d, want 4", r.SeqGaps)
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "4 sequence gaps") {
+		t.Errorf("report text missing gap warning:\n%s", b.String())
+	}
+	if g := Analyze(events[:1]).SeqGaps; g != 0 {
+		t.Errorf("single event SeqGaps = %d, want 0", g)
+	}
+}

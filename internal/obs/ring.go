@@ -44,6 +44,19 @@ func (r *Ring) Len() int {
 // ones.
 func (r *Ring) Total() uint64 { return r.pos.Load() }
 
+// Dropped returns how many events have been overwritten before any
+// reader could have seen them — the ring's silent data loss. Offline
+// analysis over a snapshot (or a /debug/decisions page) is incomplete
+// exactly when this is non-zero, so dvfsd exports it as the
+// obs_ring_dropped_total counter and dvfstrace prints it.
+func (r *Ring) Dropped() uint64 {
+	n := r.pos.Load()
+	if c := uint64(len(r.slots)); n > c {
+		return n - c
+	}
+	return 0
+}
+
 // Put publishes a copy of e and returns its assigned sequence number.
 func (r *Ring) Put(e DecisionEvent) uint64 {
 	seq := r.pos.Add(1) - 1

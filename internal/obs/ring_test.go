@@ -94,3 +94,22 @@ func TestRingConcurrent(t *testing.T) {
 		t.Fatalf("final snapshot has %d events, want 256 (no writes in flight)", got)
 	}
 }
+
+func TestRingDropped(t *testing.T) {
+	r := NewRing(4)
+	if r.Dropped() != 0 {
+		t.Fatal("fresh ring reports drops")
+	}
+	for i := 0; i < 4; i++ {
+		r.Put(DecisionEvent{Job: i})
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("exactly-full ring reports %d drops", r.Dropped())
+	}
+	for i := 4; i < 11; i++ {
+		r.Put(DecisionEvent{Job: i})
+	}
+	if got := r.Dropped(); got != 7 {
+		t.Fatalf("Dropped = %d, want 7", got)
+	}
+}

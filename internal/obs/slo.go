@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"log/slog"
+	"math"
+	"sort"
+	"sync"
+)
+
+// SLOConfig parameterizes the deadline-miss SLO tracker. The zero
+// value selects production-style defaults: a 1% miss-rate objective
+// watched over a fast 128-job window (burn ≥ 10× fires) and a slow
+// 2048-job window (burn ≥ 2× fires), alerting only when both agree —
+// the multi-window multi-burn-rate pattern, counted in jobs rather
+// than wall time because the interactive workloads here are periodic
+// job streams and a job count is deterministic under simulation.
+type SLOConfig struct {
+	// Target is the acceptable deadline-miss fraction; zero → 0.01.
+	// (A negative value is clamped to 0.01; an SLO of "zero misses
+	// ever" would make any single miss an infinite burn, so express
+	// strict SLOs as a small positive target instead.)
+	Target float64
+	// FastWindow and SlowWindow are the sliding-window sizes in
+	// completed jobs; zero → 128 and 2048.
+	FastWindow int
+	SlowWindow int
+	// FastBurn and SlowBurn are the burn-rate alert thresholds
+	// (observed miss rate ÷ Target) for each window; zero → 10 and 2.
+	FastBurn float64
+	SlowBurn float64
+	// MinSamples gates alerting until a workload has completed at
+	// least this many jobs; zero → 32.
+	MinSamples int
+	// Log receives alert transitions; nil discards them.
+	Log *slog.Logger
+	// BurnGauge, when non-nil, tracks the current burn rate per
+	// (workload, window) with window ∈ {"fast", "slow"}.
+	BurnGauge *GaugeVec
+	// AlertGauge, when non-nil, is set to 1/0 per workload on alert
+	// transitions.
+	AlertGauge *GaugeVec
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Target <= 0 {
+		c.Target = 0.01
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = 128
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = 2048
+	}
+	if c.FastBurn <= 0 {
+		c.FastBurn = 10
+	}
+	if c.SlowBurn <= 0 {
+		c.SlowBurn = 2
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 32
+	}
+	return c
+}
+
+// SLOTracker maintains per-workload deadline-miss burn rates over two
+// sliding windows and raises an alert when both windows burn error
+// budget faster than their thresholds. The fast window catches sharp
+// regressions (a bad model push) within ~a hundred jobs; the slow
+// window keeps the alert from flapping on short bursts that the error
+// budget can absorb. Alerts clear with hysteresis once both burns
+// fall below half their thresholds.
+type SLOTracker struct {
+	cfg SLOConfig
+
+	mu  sync.Mutex
+	per map[string]*sloState
+}
+
+type sloState struct {
+	fast, slow missWindow
+	total      int64
+	misses     int64
+	alerting   bool
+}
+
+// missWindow is a fixed-size circular buffer of deadline outcomes.
+type missWindow struct {
+	bits   []bool
+	next   int
+	filled bool
+	misses int
+}
+
+func (w *missWindow) push(missed bool) {
+	if w.filled && w.bits[w.next] {
+		w.misses--
+	}
+	w.bits[w.next] = missed
+	if missed {
+		w.misses++
+	}
+	w.next++
+	if w.next == len(w.bits) {
+		w.next = 0
+		w.filled = true
+	}
+}
+
+func (w *missWindow) size() int {
+	if w.filled {
+		return len(w.bits)
+	}
+	return w.next
+}
+
+func (w *missWindow) rate() float64 {
+	n := w.size()
+	if n == 0 {
+		return 0
+	}
+	return float64(w.misses) / float64(n)
+}
+
+// NewSLOTracker returns a tracker with the given configuration.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	return &SLOTracker{cfg: cfg.withDefaults(), per: map[string]*sloState{}}
+}
+
+// Target returns the configured miss-rate objective.
+func (t *SLOTracker) Target() float64 { return t.cfg.Target }
+
+// Observe feeds one completed job's deadline outcome for a workload
+// and re-evaluates the alert state.
+func (t *SLOTracker) Observe(workload string, missed bool) {
+	t.mu.Lock()
+	st := t.per[workload]
+	if st == nil {
+		st = &sloState{
+			fast: missWindow{bits: make([]bool, t.cfg.FastWindow)},
+			slow: missWindow{bits: make([]bool, t.cfg.SlowWindow)},
+		}
+		t.per[workload] = st
+	}
+	st.fast.push(missed)
+	st.slow.push(missed)
+	st.total++
+	if missed {
+		st.misses++
+	}
+
+	fastBurn := st.fast.rate() / t.cfg.Target
+	slowBurn := st.slow.rate() / t.cfg.Target
+	var transition *bool
+	switch {
+	case !st.alerting && st.total >= int64(t.cfg.MinSamples) &&
+		fastBurn >= t.cfg.FastBurn && slowBurn >= t.cfg.SlowBurn:
+		st.alerting = true
+		v := true
+		transition = &v
+	case st.alerting && fastBurn < t.cfg.FastBurn/2 && slowBurn < t.cfg.SlowBurn/2:
+		st.alerting = false
+		v := false
+		transition = &v
+	}
+	t.mu.Unlock()
+
+	if t.cfg.BurnGauge != nil {
+		t.cfg.BurnGauge.With(workload, "fast").Set(fastBurn)
+		t.cfg.BurnGauge.With(workload, "slow").Set(slowBurn)
+	}
+	if transition == nil {
+		return
+	}
+	if t.cfg.AlertGauge != nil {
+		v := 0.0
+		if *transition {
+			v = 1
+		}
+		t.cfg.AlertGauge.With(workload).Set(v)
+	}
+	if t.cfg.Log != nil {
+		if *transition {
+			t.cfg.Log.Warn("deadline-miss SLO burn-rate alert: error budget burning on both windows",
+				"workload", workload, "target", t.cfg.Target,
+				"fast_burn", fastBurn, "fast_threshold", t.cfg.FastBurn,
+				"slow_burn", slowBurn, "slow_threshold", t.cfg.SlowBurn)
+		} else {
+			t.cfg.Log.Info("deadline-miss SLO recovered",
+				"workload", workload, "fast_burn", fastBurn, "slow_burn", slowBurn)
+		}
+	}
+}
+
+// SLOStatus is one workload's current SLO state, as served by dvfsd's
+// GET /debug/slo.
+type SLOStatus struct {
+	Workload string  `json:"workload"`
+	Target   float64 `json:"target"`
+	Jobs     int64   `json:"jobs"`
+	Misses   int64   `json:"misses"`
+	MissRate float64 `json:"miss_rate"`
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	Alerting bool    `json:"alerting"`
+}
+
+// Status returns the workload's current state; ok is false when the
+// workload has never been observed.
+func (t *SLOTracker) Status(workload string) (SLOStatus, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.per[workload]
+	if st == nil {
+		return SLOStatus{}, false
+	}
+	return t.statusLocked(workload, st), true
+}
+
+func (t *SLOTracker) statusLocked(workload string, st *sloState) SLOStatus {
+	s := SLOStatus{
+		Workload: workload,
+		Target:   t.cfg.Target,
+		Jobs:     st.total,
+		Misses:   st.misses,
+		FastBurn: st.fast.rate() / t.cfg.Target,
+		SlowBurn: st.slow.rate() / t.cfg.Target,
+		Alerting: st.alerting,
+	}
+	if st.total > 0 {
+		s.MissRate = float64(st.misses) / float64(st.total)
+	}
+	return s
+}
+
+// Snapshot returns every observed workload's status, sorted by name.
+func (t *SLOTracker) Snapshot() []SLOStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.per))
+	for name := range t.per {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]SLOStatus, 0, len(names))
+	for _, name := range names {
+		out = append(out, t.statusLocked(name, t.per[name]))
+	}
+	return out
+}
+
+// Alerting reports whether the workload currently has an active
+// burn-rate alert.
+func (t *SLOTracker) Alerting(workload string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.per[workload]
+	return st != nil && st.alerting
+}
+
+// BurnRates returns the workload's current fast- and slow-window burn
+// rates (NaN with no observations).
+func (t *SLOTracker) BurnRates(workload string) (fast, slow float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.per[workload]
+	if st == nil {
+		return math.NaN(), math.NaN()
+	}
+	return st.fast.rate() / t.cfg.Target, st.slow.rate() / t.cfg.Target
+}

@@ -12,6 +12,9 @@ type TracerOptions struct {
 	// Drift, when non-nil, observes every completed prediction's
 	// residual.
 	Drift *DriftMonitor
+	// SLO, when non-nil, observes every completed job's deadline
+	// outcome for burn-rate tracking.
+	SLO *SLOTracker
 	// OnEmit, when non-nil, runs after each emission — the hook a
 	// metrics registry uses to count events without coupling the
 	// tracer to it.
@@ -26,6 +29,7 @@ type Tracer struct {
 	ring    *Ring
 	sinks   []Sink
 	drift   *DriftMonitor
+	slo     *SLOTracker
 	onEmit  func(e *DecisionEvent)
 	emitted atomic.Uint64
 }
@@ -39,6 +43,7 @@ func NewTracer(opts TracerOptions) *Tracer {
 		ring:   NewRing(opts.RingSize),
 		sinks:  opts.Sinks,
 		drift:  opts.Drift,
+		slo:    opts.SLO,
 		onEmit: opts.OnEmit,
 	}
 }
@@ -87,6 +92,9 @@ func (t *Tracer) publish(e *DecisionEvent) {
 	if t.drift != nil && e.Done && e.Predicted {
 		t.drift.Observe(e.Workload, e.ResidualSec)
 	}
+	if t.slo != nil && e.Done {
+		t.slo.Observe(e.Workload, e.Missed)
+	}
 	if t.onEmit != nil {
 		t.onEmit(e)
 	}
@@ -101,6 +109,12 @@ func (t *Tracer) Emitted() uint64 { return t.emitted.Load() }
 
 // Drift returns the attached drift monitor (nil when none).
 func (t *Tracer) Drift() *DriftMonitor { return t.drift }
+
+// SLO returns the attached SLO tracker (nil when none).
+func (t *Tracer) SLO() *SLOTracker { return t.slo }
+
+// Dropped returns how many events the ring has overwritten.
+func (t *Tracer) Dropped() uint64 { return t.ring.Dropped() }
 
 // Close closes every sink and returns the first error.
 func (t *Tracer) Close() error {

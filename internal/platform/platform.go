@@ -223,6 +223,19 @@ func (p *Platform) Level(i int) (Level, error) {
 	return p.Levels[i], nil
 }
 
+// LevelByFreqKHz returns the operating point clocked at exactly khz,
+// as recorded in a DecisionEvent's FreqKHz field — how replay checks
+// that a trace was produced on the platform it is being replayed
+// against.
+func (p *Platform) LevelByFreqKHz(khz int64) (Level, bool) {
+	for _, l := range p.Levels {
+		if int64(l.FreqHz/1e3) == khz {
+			return l, true
+		}
+	}
+	return Level{}, false
+}
+
 // ActivePower returns the power draw in watts while executing at l.
 func (p *Platform) ActivePower(l Level) float64 {
 	return p.CdynWPerV2Hz*l.cdyn()*l.Volt*l.Volt*l.FreqHz + p.LeakWPerV*l.leak()*l.Volt

@@ -1,0 +1,131 @@
+package render
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+)
+
+// HTMLPage builds a self-contained HTML report: inline CSS, inline
+// SVG charts, no external assets, no scripts, no timestamps — the
+// same bytes for the same inputs, so reports diff cleanly and the
+// replay determinism check can compare them byte-for-byte.
+type HTMLPage struct {
+	Title string
+	body  strings.Builder
+}
+
+// NewHTMLPage starts a page.
+func NewHTMLPage(title string) *HTMLPage {
+	return &HTMLPage{Title: title}
+}
+
+// Section opens a titled section.
+func (p *HTMLPage) Section(title string) {
+	fmt.Fprintf(&p.body, "<h2>%s</h2>\n", html.EscapeString(title))
+}
+
+// Para adds a paragraph of escaped text.
+func (p *HTMLPage) Para(text string) {
+	fmt.Fprintf(&p.body, "<p>%s</p>\n", html.EscapeString(text))
+}
+
+// Note adds a highlighted aside (approximation warnings, drift notes).
+func (p *HTMLPage) Note(text string) {
+	fmt.Fprintf(&p.body, "<p class=\"note\">%s</p>\n", html.EscapeString(text))
+}
+
+// Table adds a table; header and every row are escaped. Cells whose
+// content parses as right-alignable (numbers with optional %/J/ms
+// suffixes) are styled by class "num" when num[i] is true.
+func (p *HTMLPage) Table(header []string, rows [][]string, num []bool) {
+	p.body.WriteString("<table>\n<tr>")
+	for i, h := range header {
+		cls := ""
+		if i < len(num) && num[i] {
+			cls = " class=\"num\""
+		}
+		fmt.Fprintf(&p.body, "<th%s>%s</th>", cls, html.EscapeString(h))
+	}
+	p.body.WriteString("</tr>\n")
+	for _, row := range rows {
+		p.body.WriteString("<tr>")
+		for i, c := range row {
+			cls := ""
+			if i < len(num) && num[i] {
+				cls = " class=\"num\""
+			}
+			fmt.Fprintf(&p.body, "<td%s>%s</td>", cls, html.EscapeString(c))
+		}
+		p.body.WriteString("</tr>\n")
+	}
+	p.body.WriteString("</table>\n")
+}
+
+// BarChart draws a horizontal bar chart as inline SVG: one row per
+// label, bars scaled to the maximum value. Values render with the
+// given format suffix (e.g. "%.1f%%").
+func (p *HTMLPage) BarChart(title string, labels []string, values []float64, format string) {
+	if len(labels) == 0 || len(labels) != len(values) {
+		return
+	}
+	maxV := 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	const (
+		rowH   = 22
+		labelW = 170
+		chartW = 420
+		valueW = 90
+		barH   = 14
+	)
+	w := labelW + chartW + valueW
+	h := rowH * len(labels)
+	fmt.Fprintf(&p.body, "<h3>%s</h3>\n", html.EscapeString(title))
+	fmt.Fprintf(&p.body, "<svg width=\"%d\" height=\"%d\" role=\"img\">\n", w, h)
+	for i, v := range values {
+		y := i * rowH
+		bw := 0.0
+		if maxV > 0 {
+			bw = v / maxV * chartW
+		}
+		fmt.Fprintf(&p.body, "<text x=\"%d\" y=\"%d\" class=\"lbl\">%s</text>",
+			labelW-6, y+barH, html.EscapeString(labels[i]))
+		fmt.Fprintf(&p.body, "<rect x=\"%d\" y=\"%d\" width=\"%.1f\" height=\"%d\" class=\"bar\"/>",
+			labelW, y+barH-12, bw, barH)
+		fmt.Fprintf(&p.body, "<text x=\"%.1f\" y=\"%d\" class=\"val\">"+format+"</text>\n",
+			float64(labelW)+bw+6, y+barH, v)
+	}
+	p.body.WriteString("</svg>\n")
+}
+
+// WriteTo renders the complete document.
+func (p *HTMLPage) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(p.Title))
+	b.WriteString(`<style>
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 64rem; color: #222; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.15rem; margin-top: 2rem; border-bottom: 1px solid #ddd; }
+h3 { font-size: 1rem; margin-bottom: .3rem; }
+table { border-collapse: collapse; margin: .6rem 0 1rem; }
+th, td { padding: .25rem .7rem; border-bottom: 1px solid #eee; text-align: left; }
+th { border-bottom: 1px solid #999; }
+th.num, td.num { text-align: right; font-variant-numeric: tabular-nums; }
+p.note { background: #fff6d9; border-left: 3px solid #e0b400; padding: .4rem .7rem; }
+svg .bar { fill: #4a78b5; } svg .lbl { text-anchor: end; font-size: 12px; fill: #222; }
+svg .val { font-size: 12px; fill: #444; }
+</style>
+</head>
+<body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(p.Title))
+	b.WriteString(p.body.String())
+	b.WriteString("</body>\n</html>\n")
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

@@ -1,0 +1,61 @@
+package render
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTMLPageEscapesAndStructure(t *testing.T) {
+	p := NewHTMLPage("Report <x>")
+	p.Section("Group a & b")
+	p.Para("plain text")
+	p.Note("approx: <script>alert(1)</script>")
+	p.Table([]string{"policy", "energy"}, [][]string{{"oracle", "1.2 J"}}, []bool{false, true})
+	p.BarChart("norm energy", []string{"oracle", "perf"}, []float64{56.1, 100}, "%.1f%%")
+
+	var b strings.Builder
+	if _, err := p.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"<title>Report &lt;x&gt;</title>",
+		"<h2>Group a &amp; b</h2>",
+		"<td class=\"num\">1.2 J</td>",
+		"<svg",
+		"100.0%",
+		"</html>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Hostile content must never reach the document unescaped.
+	if strings.Contains(out, "<script>") {
+		t.Error("unescaped script tag in output")
+	}
+	// Deterministic: same calls, same bytes.
+	var b2 strings.Builder
+	p2 := NewHTMLPage("Report <x>")
+	p2.Section("Group a & b")
+	p2.Para("plain text")
+	p2.Note("approx: <script>alert(1)</script>")
+	p2.Table([]string{"policy", "energy"}, [][]string{{"oracle", "1.2 J"}}, []bool{false, true})
+	p2.BarChart("norm energy", []string{"oracle", "perf"}, []float64{56.1, 100}, "%.1f%%")
+	p2.WriteTo(&b2)
+	if b.String() != b2.String() {
+		t.Error("identical pages rendered different bytes")
+	}
+}
+
+func TestHTMLPageEmptyBarChart(t *testing.T) {
+	p := NewHTMLPage("t")
+	p.BarChart("empty", nil, nil, "%.0f")
+	p.BarChart("mismatched", []string{"a"}, []float64{1, 2}, "%.0f")
+	var b strings.Builder
+	p.WriteTo(&b)
+	if strings.Contains(b.String(), "<svg") {
+		t.Error("degenerate chart inputs should render nothing")
+	}
+}

@@ -1,0 +1,95 @@
+package replay
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/render"
+)
+
+// WriteHTML renders the replay as a self-contained HTML report —
+// same information as WriteText, plus bar charts for the normalized
+// energy comparison and the traced level occupancy. Deterministic:
+// identical results produce identical bytes.
+func (r *Result) WriteHTML(w io.Writer) error {
+	p := render.NewHTMLPage("dvfsreplay — counterfactual energy report")
+	p.Para(fmt.Sprintf("Platform %s; %d events ingested, %d skipped.", r.Platform, r.Events, r.Skipped))
+	if r.SeqGaps > 0 {
+		p.Note(fmt.Sprintf("%d sequence gaps: events were lost (ring overwrite, truncation) or filtered out; the analysis covers an incomplete stream.", r.SeqGaps))
+	}
+	for i := range r.Groups {
+		g := &r.Groups[i]
+		p.Section(fmt.Sprintf("%s / %s", g.Workload, g.Governor))
+		p.Para(fmt.Sprintf("%d jobs (%d predicted), period %.1f ms, budget %.1f ms, ρ %.3f.",
+			g.Jobs, g.Predicted, g.PeriodSec*1e3, g.BudgetSec*1e3, g.Rho))
+		for _, a := range g.Approx {
+			p.Note("Approximate: " + a)
+		}
+		b := g.Traced.Breakdown
+		p.Table(
+			[]string{"traced energy", "exec", "predictor", "switch", "idle", "misses"},
+			[][]string{{
+				fmt.Sprintf("%.3f J", g.Traced.EnergyJ),
+				fmt.Sprintf("%.3f J", b.ExecJ),
+				fmt.Sprintf("%.3f J", b.PredictorJ),
+				fmt.Sprintf("%.3f J", b.SwitchJ),
+				fmt.Sprintf("%.3f J", b.IdleJ),
+				fmt.Sprintf("%d (%.2f%%)", g.Traced.Misses, 100*g.Traced.MissRate),
+			}},
+			[]bool{true, true, true, true, true, true},
+		)
+
+		rows := make([][]string, 0, len(g.Policies))
+		labels := make([]string, 0, len(g.Policies))
+		values := make([]float64, 0, len(g.Policies))
+		for _, pol := range g.Policies {
+			rows = append(rows, []string{
+				pol.Name,
+				fmt.Sprintf("%.3f", pol.EnergyJ),
+				fmt.Sprintf("%.1f", pol.NormEnergyPct),
+				fmt.Sprintf("%d", pol.Misses),
+				fmt.Sprintf("%.2f", 100*pol.MissRate),
+				fmt.Sprintf("%+.1f", pol.DeltaEnergyPct),
+			})
+			labels = append(labels, pol.Name)
+			values = append(values, pol.NormEnergyPct)
+		}
+		p.Table(
+			[]string{"policy", "energy [J]", "norm [%]", "misses", "miss [%]", "Δenergy vs traced [%]"},
+			rows, []bool{false, true, true, true, true, true})
+		p.BarChart("energy normalized to performance [%]", labels, values, "%.1f%%")
+
+		if len(g.MarginSweep) > 0 {
+			p.Table([]string{"margin", "energy [J]", "norm [%]", "misses"},
+				sweepRows(g.MarginSweep, "%.2f"), []bool{true, true, true, true})
+		}
+		if len(g.AlphaSweep) > 0 {
+			p.Table([]string{"α", "energy [J]", "norm [%]", "misses"},
+				sweepRows(g.AlphaSweep, "%.0f"), []bool{true, true, true, true})
+		}
+		if len(g.Traced.Levels) > 0 {
+			occLabels := make([]string, 0, len(g.Traced.Levels))
+			occValues := make([]float64, 0, len(g.Traced.Levels))
+			for _, l := range g.Traced.Levels {
+				occLabels = append(occLabels, fmt.Sprintf("level %d", l.Level))
+				occValues = append(occValues, 100*l.Frac)
+			}
+			p.BarChart("traced level occupancy [% of decisions]", occLabels, occValues, "%.1f%%")
+		}
+	}
+	_, err := p.WriteTo(w)
+	return err
+}
+
+func sweepRows(pts []SweepPoint, paramFmt string) [][]string {
+	rows := make([][]string, 0, len(pts))
+	for _, sp := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf(paramFmt, sp.Param),
+			fmt.Sprintf("%.3f", sp.EnergyJ),
+			fmt.Sprintf("%.1f", sp.NormEnergyPct),
+			fmt.Sprintf("%d", sp.Misses),
+		})
+	}
+	return rows
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"repro/internal/features"
+	"repro/internal/obs"
 )
 
 // Wire types of the dvfsd HTTP API (v1).
@@ -82,4 +83,11 @@ type HealthResponse struct {
 // ErrorResponse is every non-2xx body.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// SLOResponse is GET /debug/slo: the configured deadline-miss target
+// and each observed workload's burn-rate status.
+type SLOResponse struct {
+	Target    float64         `json:"target"`
+	Workloads []obs.SLOStatus `json:"workloads"`
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/obs"
 )
@@ -25,6 +26,13 @@ type Metrics struct {
 	ready      *obs.Gauge
 	queueDepth *obs.Gauge
 	modelAge   *obs.GaugeVec
+
+	ringDropped *obs.CounterVec
+	// droppedMu guards droppedSeen, the last ring-drop totals already
+	// folded into the counter (a counter must only move forward, but
+	// the ring reports a running total).
+	droppedMu   sync.Mutex
+	droppedSeen map[string]uint64
 }
 
 // requestBuckets covers sub-millisecond predicts up to slow
@@ -61,6 +69,9 @@ func NewMetrics() *Metrics {
 			"Model builds waiting for the build worker."),
 		modelAge: reg.GaugeVec("dvfsd_model_age_seconds",
 			"Seconds since each servable model was built or loaded.", "model"),
+		ringDropped: reg.CounterVec("obs_ring_dropped_total",
+			"Decision events overwritten in a ring buffer before any reader saw them.", "ring"),
+		droppedSeen: map[string]uint64{},
 	}
 }
 
@@ -103,6 +114,22 @@ func (m *Metrics) SetQueueDepth(n int) { m.queueDepth.Set(float64(n)) }
 // SetModelAge updates the per-model age gauge.
 func (m *Metrics) SetModelAge(model string, seconds float64) {
 	m.modelAge.With(model).Set(seconds)
+}
+
+// SyncRingDropped folds a ring's running drop total into the
+// obs_ring_dropped_total counter (called on each /metrics scrape, so
+// drops surface without putting a metrics update on the trace path).
+func (m *Metrics) SyncRingDropped(ring string, total uint64) {
+	m.droppedMu.Lock()
+	seen := m.droppedSeen[ring]
+	if total > seen {
+		m.ringDropped.With(ring).Add(float64(total - seen))
+		m.droppedSeen[ring] = total
+	} else if seen == 0 {
+		// Touch the series so the counter is visible at zero.
+		m.ringDropped.With(ring).Add(0)
+	}
+	m.droppedMu.Unlock()
 }
 
 // RequestCount returns the total finished requests for a route across

@@ -38,8 +38,12 @@ type ServerOptions struct {
 	// served prediction (the job runs client-side, so no residual is
 	// ever attached; Done stays false).
 	Tracer *obs.Tracer
+	// SLO, when non-nil, is served at GET /debug/slo (per-workload
+	// deadline-miss burn-rate status).
+	SLO *obs.SLOTracker
 	// EnableDebug mounts GET /debug/decisions (the tracer ring as
-	// JSON) and the net/http/pprof handlers under /debug/pprof/.
+	// JSON), GET /debug/slo, and the net/http/pprof handlers under
+	// /debug/pprof/.
 	EnableDebug bool
 }
 
@@ -54,6 +58,7 @@ type Server struct {
 	maxB    int
 	maxBody int64
 	tracer  *obs.Tracer
+	slo     *obs.SLOTracker
 	start   time.Time
 	mux     *http.ServeMux
 }
@@ -87,6 +92,7 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 		maxB:    opts.MaxBatch,
 		maxBody: opts.MaxBodyBytes,
 		tracer:  opts.Tracer,
+		slo:     opts.SLO,
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
 	}
@@ -98,6 +104,7 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/predict/batch", s.guard("predict_batch", s.handlePredictBatch))
 	if opts.EnableDebug {
 		s.mux.HandleFunc("GET /debug/decisions", s.handleDecisions)
+		s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -203,6 +210,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for name, age := range s.reg.ModelAges(time.Now()) {
 		s.metrics.SetModelAge(name, age)
 	}
+	if s.tracer != nil {
+		s.metrics.SyncRingDropped("decisions", s.tracer.Dropped())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = s.metrics.WriteTo(w)
 }
@@ -225,6 +235,17 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 		n = v
 	}
 	writeJSON(w, http.StatusOK, s.tracer.Snapshot(n))
+}
+
+// handleSLO reports every workload's deadline-miss SLO state: target,
+// lifetime misses, and the fast/slow-window burn rates the alerts
+// fire on.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "SLO tracking disabled (start dvfsd with -slo-target > 0)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, SLOResponse{Target: s.slo.Target(), Workloads: s.slo.Snapshot()})
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {

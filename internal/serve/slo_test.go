@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// /debug/slo serves the tracker's snapshot; without a tracker it
+// explains how to enable it.
+func TestDebugSLO(t *testing.T) {
+	reg, err := NewRegistry(RegistryOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	metrics := NewMetrics()
+	slo := obs.NewSLOTracker(obs.SLOConfig{
+		Target: 0.01, FastWindow: 8, SlowWindow: 32, MinSamples: 8,
+		BurnGauge:  metrics.Registry().GaugeVec("dvfsd_slo_burn_rate", "burn", "workload", "window"),
+		AlertGauge: metrics.Registry().GaugeVec("dvfsd_slo_alert", "alert", "workload"),
+	})
+	tracer := obs.NewTracer(obs.TracerOptions{RingSize: 8, SLO: slo})
+	ts := httptest.NewServer(NewServer(reg, ServerOptions{
+		Metrics: metrics, Tracer: tracer, EnableDebug: true, SLO: slo,
+	}))
+	defer ts.Close()
+
+	for i := 0; i < 16; i++ {
+		p := tracer.Begin(obs.DecisionEvent{Workload: "ldecode", Job: i})
+		p.End(0.01, true) // every job misses: alert fires
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SLOResponse
+	err = json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/slo: HTTP %d, %v", resp.StatusCode, err)
+	}
+	if sr.Target != 0.01 || len(sr.Workloads) != 1 {
+		t.Fatalf("slo response: %+v", sr)
+	}
+	w := sr.Workloads[0]
+	if w.Workload != "ldecode" || !w.Alerting || w.Misses != 16 {
+		t.Errorf("workload status: %+v", w)
+	}
+
+	// The burn/alert gauges and the ring-drop counter land on /metrics.
+	// 16 completed events through an 8-slot ring overwrote 8.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb bytes.Buffer
+	mb.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`dvfsd_slo_alert{workload="ldecode"} 1`,
+		`dvfsd_slo_burn_rate{workload="ldecode",window="fast"}`,
+		`obs_ring_dropped_total{ring="decisions"} 8`,
+	} {
+		if !strings.Contains(mb.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mb.String())
+		}
+	}
+
+	// A second scrape must not double-count the drops (monotone sync).
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb.Reset()
+	mb.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(mb.String(), `obs_ring_dropped_total{ring="decisions"} 8`) {
+		t.Error("ring-drop counter moved without new drops")
+	}
+}
+
+func TestDebugSLODisabled(t *testing.T) {
+	reg, err := NewRegistry(RegistryOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ts := httptest.NewServer(NewServer(reg, ServerOptions{EnableDebug: true}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e ErrorResponse
+	json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(e.Error, "SLO tracking disabled") {
+		t.Errorf("no-slo: HTTP %d, %+v", resp.StatusCode, e)
+	}
+}

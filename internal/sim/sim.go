@@ -113,8 +113,14 @@ type JobRecord struct {
 	ReleaseSec, StartSec, EndSec float64
 	DeadlineSec                  float64
 	Missed                       bool
-	// LevelIdx is the level selected at job start.
-	LevelIdx int
+	// LevelIdx is the level selected at job start; FromLevelIdx is the
+	// level the platform was at when the job was released (the switch
+	// source — replay needs it to price the transition).
+	LevelIdx     int
+	FromLevelIdx int
+	// FreqKHz is LevelIdx's clock rate — recorded so decision logs stay
+	// checkable against the platform they claim to come from.
+	FreqKHz int64
 	// PredictorSec, SwitchSec, ExecSec decompose the job's wall time.
 	// SwitchSec includes mid-job transitions forced by sampling
 	// governors; ExecSec is pure execution at speed.
@@ -438,6 +444,7 @@ func Run(w *workload.Workload, gov governor.Governor, cfg Config) (*Result, erro
 			st.idleUntil(release)
 		}
 		start := st.now
+		fromLevel := st.cur.Index
 		deadline := release + cfg.BudgetSec
 		params := paramsFor(i)
 		job := makeJob(i, start)
@@ -510,6 +517,8 @@ func Run(w *workload.Workload, gov governor.Governor, cfg Config) (*Result, erro
 			DeadlineSec:      deadline,
 			Missed:           missed,
 			LevelIdx:         dec.Target.Index,
+			FromLevelIdx:     fromLevel,
+			FreqKHz:          int64(dec.Target.FreqHz / 1e3),
 			PredictorSec:     predictorSec,
 			SwitchSec:        st.switchSecAcc,
 			ExecSec:          execSec,
