@@ -1,11 +1,16 @@
 package repro_test
 
 import (
+	"bufio"
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/taskir"
 )
@@ -156,7 +161,8 @@ func TestCLIDvfstraceRejectsBadUsage(t *testing.T) {
 		args []string
 		want string
 	}{
-		{"missing input", []string{"./cmd/dvfstrace"}, "-input is required"},
+		{"missing input", []string{"./cmd/dvfstrace"}, "-input or -follow is required"},
+		{"input and follow", []string{"./cmd/dvfstrace", "-input", "x", "-follow", "http://y"}, "mutually exclusive"},
 		{"unreadable input", []string{"./cmd/dvfstrace", "-input", "/nonexistent/x.jsonl"}, "no such file"},
 		{"unknown format", []string{"./cmd/dvfstrace", "-input", "x", "-format", "xml"}, "unknown format"},
 		{"unknown flag", []string{"./cmd/dvfstrace", "-frobnicate"}, "flag provided but not defined"},
@@ -288,6 +294,90 @@ func TestCLIDvfsreplayRejectsBadUsage(t *testing.T) {
 				t.Errorf("missing %q:\n%s", tc.want, out)
 			}
 		})
+	}
+}
+
+// Full-binary live-telemetry round trip: boot dvfsd on an ephemeral
+// port, drive traffic with dvfsload (train + predict through the
+// API), tail the SSE stream with dvfstrace -follow, and fetch the
+// embedded operations dashboard.
+func TestCLIDvfsdLiveStreamAndDash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool and a daemon")
+	}
+	dir := t.TempDir()
+	bin := dir + "/dvfsd"
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/dvfsd").CombinedOutput(); err != nil {
+		t.Fatalf("building dvfsd: %v\n%s", err, out)
+	}
+
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Signal(syscall.SIGTERM)
+		daemon.Wait()
+	}()
+
+	// -addr :0 works because dvfsd logs the resolved listener address;
+	// keep draining stderr after the match so the daemon never blocks.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "addr="); i >= 0 && strings.Contains(line, "dvfsd listening") {
+				addrCh <- strings.Fields(line[i+len("addr="):])[0]
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(15 * time.Second):
+		t.Fatal("dvfsd never logged its listen address")
+	}
+
+	out := runCLI(t, "./cmd/dvfsload", "-addr", base, "-workload", "sha",
+		"-train", "-train-jobs", "80", "-jobs", "30", "-conns", "2")
+	if !strings.Contains(out, "errors 0") {
+		t.Fatalf("load run saw request errors:\n%s", out)
+	}
+
+	// Tail the live stream: -last replays ring backlog, so -follow-max
+	// is satisfied deterministically without racing new traffic.
+	out = runCLI(t, "./cmd/dvfstrace",
+		"-follow", base+"/v1/events", "-last", "20", "-follow-max", "5", "-follow-every", "2")
+	for _, want := range []string{"stream ended after 5 events", "workloads   sha", "follow"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("follow output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The dashboard serves a self-contained page with live charts.
+	resp, err := http.Get(base + "/debug/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/dash: HTTP %d\n%s", resp.StatusCode, body)
+	}
+	page := string(body)
+	for _, want := range []string{"<svg", "Decision phases", "sha"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	if strings.Contains(page, "http://") || strings.Contains(page, "<script") {
+		t.Errorf("dashboard is not self-contained")
 	}
 }
 

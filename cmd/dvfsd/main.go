@@ -10,10 +10,14 @@
 //
 // Endpoints: POST /v1/models/{name} (train, or ?mode=upload),
 // GET /v1/models, POST /v1/predict, POST /v1/predict/batch,
-// GET /healthz, GET /metrics (Prometheus text format), and — unless
-// -debug=false — GET /debug/decisions (recent decision events as
-// JSON), GET /debug/slo (per-workload deadline-miss burn rates) plus
-// the net/http/pprof handlers under /debug/pprof/.
+// GET /v1/events (live decision stream as Server-Sent Events,
+// filterable with ?workload=&since=&last=; dvfstrace -follow tails
+// it), GET /healthz, GET /metrics (Prometheus text format), and —
+// unless -debug=false — GET /debug/decisions (recent decision events
+// as JSON, same filter params), GET /debug/slo (per-workload
+// deadline-miss burn rates), GET /debug/dash (self-contained
+// auto-refreshing HTML operations dashboard) plus the net/http/pprof
+// handlers under /debug/pprof/.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener drains
 // in-flight requests, then the registry drains in-flight builds.
@@ -25,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,6 +58,8 @@ func main() {
 	sloTarget := flag.Float64("slo-target", 0.01, "deadline-miss SLO target per workload (0 disables burn-rate tracking)")
 	sloFast := flag.Int("slo-fast", 128, "fast burn-rate window in jobs")
 	sloSlow := flag.Int("slo-slow", 2048, "slow burn-rate window in jobs")
+	streamQueue := flag.Int("stream-queue", 256, "queued events per /v1/events subscriber before dropping (0 disables streaming)")
+	spanEvery := flag.Int("span-every", 1, "capture a per-phase span ledger on every Nth decision (1 = all)")
 	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -67,7 +74,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *data, *platName, *workers, *queue, *maxInflight, *timeout, *seed, *preload, *tracePath, *debug, *sloTarget, *sloFast, *sloSlow, log); err != nil {
+	if *spanEvery < 0 {
+		fmt.Fprintln(os.Stderr, "dvfsd: -span-every must be >= 0")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, *data, *platName, *workers, *queue, *maxInflight, *timeout, *seed, *preload, *tracePath, *debug, *sloTarget, *sloFast, *sloSlow, *streamQueue, *spanEvery, log); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsd:", err)
 		if errors.Is(err, errUsage) {
 			flag.Usage()
@@ -80,7 +92,7 @@ func main() {
 // errUsage marks validation errors that warrant the usage text.
 var errUsage = errors.New("invalid usage")
 
-func run(addr, data, platName string, workers, queue, maxInflight int, timeout time.Duration, seed int64, preload, tracePath string, debug bool, sloTarget float64, sloFast, sloSlow int, log *slog.Logger) error {
+func run(addr, data, platName string, workers, queue, maxInflight int, timeout time.Duration, seed int64, preload, tracePath string, debug bool, sloTarget float64, sloFast, sloSlow, streamQueue, spanEvery int, log *slog.Logger) error {
 	// Validate everything up front: a daemon must not come up half
 	// configured.
 	plat, err := platform.ByName(platName)
@@ -113,6 +125,19 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 		}
 		defer f.Close()
 		sinks = append(sinks, obs.NewJSONLSink(f))
+	}
+	// Live streaming: the broadcaster is both a tracer sink (every
+	// emitted decision fans out) and the server's /v1/events source
+	// (each subscriber gets a bounded queue; slow readers drop rather
+	// than block the decision path).
+	var stream *obs.Broadcaster
+	if streamQueue > 0 {
+		stream = obs.NewBroadcaster(obs.BroadcasterOptions{
+			QueueSize: streamQueue,
+			Dropped: metrics.Registry().Counter("obs_stream_dropped_total",
+				"Decision events dropped because a /v1/events subscriber fell behind."),
+		})
+		sinks = append(sinks, stream)
 	}
 	// SLO burn-rate tracking: every completed decision event feeds a
 	// per-workload deadline-miss SLO with fast/slow burn-rate windows;
@@ -167,6 +192,8 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 		Tracer:         tracer,
 		EnableDebug:    debug,
 		SLO:            slo,
+		Stream:         stream,
+		SpanEvery:      spanEvery,
 	})
 	for _, name := range preloads {
 		if _, _, err := reg.Train(name, serve.TrainConfig{Seed: seed}); err != nil {
@@ -176,17 +203,23 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 	}
 
 	hs := &http.Server{
-		Addr:              addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+	// Listen before logging so -addr :0 reports the resolved port —
+	// tests (and scripts) parse it from the startup line.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		reg.Close()
+		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Info("dvfsd listening", "addr", addr, "platform", plat.Name, "data", data)
-		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Info("dvfsd listening", "addr", ln.Addr().String(), "platform", plat.Name, "data", data)
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
 	}()

@@ -3,7 +3,11 @@
 // (attributed to execution, predictor, DVFS switches, and idle slack)
 // and replays every decision under counterfactual policies — oracle,
 // performance, powersave, the PID baseline, and what-if margin/α
-// sweeps of the predictor — without re-running the workload.
+// sweeps of the predictor — without re-running the workload. When
+// events carry per-phase span ledgers (dvfssim/dvfsd with tracing on)
+// the report also attributes the predictor overhead to measured
+// phases — slice eval, model predict, level select — alongside the
+// static estimate the energy reconstruction charges.
 //
 // Usage:
 //

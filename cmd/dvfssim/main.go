@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -163,10 +164,18 @@ func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, c
 	if err != nil {
 		return err
 	}
+	var phaseLine string
 	if len(sinks) > 0 {
 		events := trace.DecisionEvents(r)
 		if mem != nil {
 			events = trace.MergeDecisions(mem.Events(), r)
+			// Measured per-phase decision cost (the span ledger the live
+			// tracer captured, re-timed with simulated ground truth).
+			parts := make([]string, 0, 8)
+			for _, ph := range obs.AnalyzePhases(events) {
+				parts = append(parts, fmt.Sprintf("%s %s", ph.Name, obs.FormatDur(ph.MeanSec)))
+			}
+			phaseLine = strings.Join(parts, ", ")
 		}
 		for _, s := range sinks {
 			for i := range events {
@@ -188,6 +197,9 @@ func run(wName, gName string, budget float64, jobs int, seed int64, idle bool, c
 	b := r.Breakdown
 	fmt.Fprintf(summary, "breakdown  exec %.3f J, idle %.3f J, switch %.3f J, predictor %.3f J\n",
 		b.ExecJ, b.IdleJ, b.SwitchJ, b.PredictorJ)
+	if phaseLine != "" {
+		fmt.Fprintf(summary, "phases     mean/job  %s\n", phaseLine)
+	}
 
 	for _, p := range sinkPaths {
 		fmt.Fprintf(summary, "decisions  %s\n", p)

@@ -9,27 +9,47 @@
 //
 //	dvfstrace -input dec.jsonl [-format text|json]
 //	          [-workload w] [-since sec] [-last n]
+//	dvfstrace -follow http://127.0.0.1:8090/v1/events
+//	          [-follow-max n] [-follow-every n] [filter flags]
 //
 // -input - reads the log from stdin, so it composes with
 // `dvfssim -trace -`. The filter flags slice large production logs
 // without external tooling and are shared verbatim with dvfsreplay.
 //
+// -follow tails a live dvfsd decision stream (Server-Sent Events)
+// instead of reading a file: the filter flags become query parameters
+// (-last replays that many ring-backlog events first), a rolling
+// one-line summary prints every -follow-every events, and the full
+// report renders over the retained window when the stream ends —
+// -follow-max events arrived, the server closed, or ctrl-C.
+//
 // Exit status: 0 on success, 2 on usage errors (unknown flag, missing
-// or unreadable input), 1 on analysis failures.
+// or unreadable input), 1 on analysis or stream failures.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/obs"
 )
 
+// followWindow bounds the events retained while tailing a live
+// stream: the rolling summaries and the final report cover at most
+// this many recent events, so an unbounded follow cannot grow memory.
+const followWindow = 4096
+
 func main() {
-	input := flag.String("input", "", "JSONL decision log to analyze (required; - for stdin)")
+	input := flag.String("input", "", "JSONL decision log to analyze (- for stdin)")
+	follow := flag.String("follow", "", "tail a live dvfsd /v1/events URL instead of reading a log")
+	followMax := flag.Int("follow-max", 0, "stop -follow after this many events (0 = until the stream ends)")
+	followEvery := flag.Int("follow-every", 25, "print a rolling summary every N followed events (0 disables)")
 	format := flag.String("format", "text", "output format: text or json")
 	var filter obs.EventFilter
 	filter.RegisterFilterFlags(flag.CommandLine)
@@ -44,14 +64,27 @@ func main() {
 	if _, err := logFlags.Logger(os.Stderr); err != nil {
 		usageErr(err)
 	}
-	if *input == "" {
-		usageErr(fmt.Errorf("-input is required"))
+	if *input == "" && *follow == "" {
+		usageErr(fmt.Errorf("-input or -follow is required"))
+	}
+	if *input != "" && *follow != "" {
+		usageErr(fmt.Errorf("-input and -follow are mutually exclusive"))
 	}
 	if *format != "text" && *format != "json" {
 		usageErr(fmt.Errorf("unknown format %q (use text or json)", *format))
 	}
 	if filter.Last < 0 {
 		usageErr(fmt.Errorf("-last must be non-negative"))
+	}
+	if *followMax < 0 || *followEvery < 0 {
+		usageErr(fmt.Errorf("-follow-max and -follow-every must be non-negative"))
+	}
+	if *follow != "" {
+		if err := runFollow(*follow, filter, *followMax, *followEvery, *format); err != nil {
+			fmt.Fprintln(os.Stderr, "dvfstrace:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	var rd io.Reader = os.Stdin
 	if *input != "-" {
@@ -69,15 +102,75 @@ func main() {
 		os.Exit(1)
 	}
 	events = filter.Apply(events)
+	if err := writeReport(events, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfstrace:", err)
+		os.Exit(1)
+	}
+}
+
+func writeReport(events []obs.DecisionEvent, format string) error {
 	report := obs.Analyze(events)
-	if *format == "json" {
+	if format == "json" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
-			fmt.Fprintln(os.Stderr, "dvfstrace:", err)
-			os.Exit(1)
-		}
-		return
+		return enc.Encode(report)
 	}
 	report.WriteText(os.Stdout)
+	return nil
+}
+
+// runFollow tails a live decision stream, keeping the last
+// followWindow events for the rolling summaries and the final report.
+func runFollow(url string, filter obs.EventFilter, max, every int, format string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var window []obs.DecisionEvent
+	total := 0
+	err := obs.Follow(ctx, url, obs.FollowOptions{Filter: filter, Max: max}, func(e obs.DecisionEvent) error {
+		window = append(window, e)
+		if len(window) > followWindow {
+			window = append(window[:0], window[len(window)-followWindow:]...)
+		}
+		total++
+		if every > 0 && total%every == 0 {
+			fmt.Fprintln(os.Stderr, rollingLine(window, total))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if total == 0 {
+		fmt.Fprintln(os.Stderr, "dvfstrace: stream ended with no events")
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "dvfstrace: stream ended after %d events; report covers the last %d\n",
+		total, len(window))
+	return writeReport(window, format)
+}
+
+// rollingLine renders the one-line live summary: throughput so far,
+// deadline misses over the retained window, and the p95 of the
+// end-to-end decision phase (decide in-process, serve over HTTP).
+func rollingLine(window []obs.DecisionEvent, total int) string {
+	miss, done := 0, 0
+	for i := range window {
+		if window[i].Done {
+			done++
+			if window[i].Missed {
+				miss++
+			}
+		}
+	}
+	line := fmt.Sprintf("follow %6d events", total)
+	if done > 0 {
+		line += fmt.Sprintf("  miss %.1f%% of %d done", 100*float64(miss)/float64(done), done)
+	}
+	for _, ph := range obs.AnalyzePhases(window) {
+		if ph.Name == obs.PhaseDecide || ph.Name == obs.PhaseServe {
+			line += fmt.Sprintf("  %s p95 %s", ph.Name, obs.FormatDur(ph.P95Sec))
+		}
+	}
+	return line
 }

@@ -163,6 +163,10 @@ type Controller struct {
 	// job index.
 	pendMu  sync.Mutex
 	pending map[int]*obs.Pending
+	// spans samples per-phase span capture on traced decisions (each
+	// boundary is a monotonic clock read §3.4 has to pay for); set
+	// alongside the tracer, default every decision.
+	spans *obs.SpanSampler
 }
 
 var _ governor.Governor = (*Controller)(nil)
@@ -511,6 +515,16 @@ type Prediction struct {
 // models, selector), so it is safe for concurrent use from any number
 // of goroutines.
 func (c *Controller) PredictTrace(tr *features.Trace, params map[string]int64, budgetSec, predictorSec float64, cur platform.Level) Prediction {
+	return c.PredictTraceSpans(tr, params, budgetSec, predictorSec, cur, nil)
+}
+
+// PredictTraceSpans is PredictTrace with per-phase span capture: the
+// model evaluation and the level selection are timed on st (which may
+// be nil — every SpanTimer method is nil-safe). Both the simulator's
+// JobStart and dvfsd's predict path run decisions through here, so
+// in-process and served decisions carry identical phase ledgers.
+func (c *Controller) PredictTraceSpans(tr *features.Trace, params map[string]int64, budgetSec, predictorSec float64, cur platform.Level, st *obs.SpanTimer) Prediction {
+	st.Start(obs.PhasePredict)
 	x := appendQuadValues(appendHintValues(c.Schema.Vectorize(tr), c.hints, params), c.quadCols)
 	tfmin := math.Max(0, c.ModelMin.Predict(x))
 	tfmax := math.Max(0, c.ModelMax.Predict(x))
@@ -519,7 +533,9 @@ func (c *Controller) PredictTrace(tr *features.Trace, params map[string]int64, b
 	}
 
 	eff := budgetSec - predictorSec
+	st.Next(obs.PhaseSelect)
 	target := c.Selector.Pick(cur, tfmin, tfmax, eff)
+	st.End()
 
 	// Record the un-margined expectation at the chosen level for the
 	// prediction-error analysis (Fig 19).
@@ -543,6 +559,17 @@ func (c *Controller) SetTracer(t *obs.Tracer) {
 	if t != nil && c.pending == nil {
 		c.pending = map[int]*obs.Pending{}
 	}
+	if t != nil && c.spans == nil {
+		c.spans = obs.NewSpanSampler(1)
+	}
+}
+
+// SetSpanSampling captures the per-phase span ledger on one in every
+// traced decisions (1 = all, the default; higher rates amortize the
+// capture's clock reads on hot production paths). Like SetTracer, not
+// safe to call concurrently with JobStart/JobEnd.
+func (c *Controller) SetSpanSampling(every int) {
+	c.spans = obs.NewSpanSampler(every)
 }
 
 // Tracer returns the attached decision tracer (nil when none).
@@ -589,6 +616,16 @@ func (c *Controller) decisionEvent(job *governor.Job, cur platform.Level, p Pred
 // frozen environment (globals are read, never written), the trace is
 // per-call, and PredictTrace reads only immutable trained state.
 func (c *Controller) JobStart(job *governor.Job, cur platform.Level) governor.Decision {
+	// Span capture (tracing only): the ledger roots at "decide" and
+	// times slice evaluation, model prediction, and level selection —
+	// §3.4's predictor cost as measured wall-clock phases. st is nil
+	// when untraced or sampled out; every SpanTimer method is nil-safe.
+	var st *obs.SpanTimer
+	if c.tracer != nil {
+		st = c.spans.Timer()
+		st.Start(obs.PhaseDecide)
+		st.Start(obs.PhaseSliceEval)
+	}
 	tr := features.NewTrace()
 	sw, err := c.Slice.Run(job.Globals, job.Params, tr)
 	if err != nil {
@@ -596,11 +633,14 @@ func (c *Controller) JobStart(job *governor.Job, cur platform.Level) governor.De
 		// to maximum frequency (always deadline-safe).
 		return governor.Decision{Target: c.Plat.MaxLevel(), PredictedExecSec: math.NaN()}
 	}
+	st.End()
 	predictorSec := c.Plat.JobTimeAt(sw.CPU, sw.MemSec, cur)
 
-	p := c.PredictTrace(tr, job.Params, job.RemainingBudgetSec, predictorSec, cur)
+	p := c.PredictTraceSpans(tr, job.Params, job.RemainingBudgetSec, predictorSec, cur, st)
 	if c.tracer != nil {
-		pend := c.tracer.Begin(c.decisionEvent(job, cur, p))
+		e := c.decisionEvent(job, cur, p)
+		e.Spans, e.SpanTotalSec = st.Finish()
+		pend := c.tracer.Begin(e)
 		c.pendMu.Lock()
 		c.pending[job.Index] = pend
 		c.pendMu.Unlock()
@@ -632,6 +672,10 @@ func (c *Controller) JobEnd(job *governor.Job, actualExecSec float64) {
 		return
 	}
 	missed := actualExecSec > pend.E.EffBudgetSec-pend.E.SwitchSec
+	// Extend the ledger with the outcome phases: the switch estimate
+	// charged at decision time and the job's execution (the simulation
+	// merge re-times both with measured ground truth).
+	obs.AppendOutcomeSpans(&pend.E, pend.E.SwitchSec, actualExecSec)
 	pend.End(actualExecSec, missed)
 }
 

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BroadcasterOptions configures NewBroadcaster.
+type BroadcasterOptions struct {
+	// QueueSize bounds each subscriber's event queue; 0 → 256.
+	QueueSize int
+	// Dropped, when non-nil, is incremented once per event dropped on a
+	// full subscriber queue (dvfsd registers obs_stream_dropped_total
+	// here).
+	Dropped *Counter
+}
+
+// Broadcaster is a Sink that fans events out to live subscribers —
+// the server side of dvfsd's GET /v1/events stream. Every subscriber
+// has a bounded queue; an event that does not fit is dropped for that
+// subscriber and counted, never waited for, so a slow or stalled
+// stream reader can not back-pressure the decision path.
+type Broadcaster struct {
+	mu      sync.RWMutex
+	subs    map[*Subscription]struct{}
+	closed  bool
+	queue   int
+	counter *Counter
+	dropped atomic.Uint64
+}
+
+var _ Sink = (*Broadcaster)(nil)
+
+// NewBroadcaster builds a broadcaster with no subscribers.
+func NewBroadcaster(opts BroadcasterOptions) *Broadcaster {
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 256
+	}
+	return &Broadcaster{
+		subs:    map[*Subscription]struct{}{},
+		queue:   opts.QueueSize,
+		counter: opts.Dropped,
+	}
+}
+
+// Subscription is one subscriber's live event feed. Receive from C;
+// it is closed when the subscription is cancelled or the broadcaster
+// shuts down.
+type Subscription struct {
+	// C delivers matching events in emission order (minus drops).
+	C <-chan DecisionEvent
+
+	ch      chan DecisionEvent
+	filter  EventFilter
+	b       *Broadcaster
+	dropped atomic.Uint64
+	close   sync.Once
+}
+
+// Subscribe registers a subscriber whose queue receives every emitted
+// event matching the filter's Workload/SinceSec criteria (Last is a
+// log-tail criterion and does not apply to a live stream). Subscribing
+// to a closed broadcaster returns an already-closed subscription.
+func (b *Broadcaster) Subscribe(filter EventFilter) *Subscription {
+	s := &Subscription{ch: make(chan DecisionEvent, b.queue), filter: filter, b: b}
+	s.C = s.ch
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		s.close.Do(func() { close(s.ch) })
+		return s
+	}
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Cancel removes the subscription and closes C. Safe to call more
+// than once, and safe against concurrent Emit: removal and close
+// happen under the lock that excludes senders.
+func (s *Subscription) Cancel() {
+	s.b.mu.Lock()
+	delete(s.b.subs, s)
+	s.close.Do(func() { close(s.ch) })
+	s.b.mu.Unlock()
+}
+
+// Dropped returns how many events this subscription lost to a full
+// queue.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Emit implements Sink: non-blocking fan-out. An event a subscriber
+// has no room for is dropped and counted — the decision path never
+// waits on a stream reader.
+func (b *Broadcaster) Emit(e *DecisionEvent) {
+	b.mu.RLock()
+	for s := range b.subs {
+		if !s.filter.Match(e) {
+			continue
+		}
+		select {
+		case s.ch <- *e:
+		default:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+			if b.counter != nil {
+				b.counter.Inc()
+			}
+		}
+	}
+	b.mu.RUnlock()
+}
+
+// Dropped returns the total events dropped across all subscribers.
+func (b *Broadcaster) Dropped() uint64 { return b.dropped.Load() }
+
+// Subscribers returns the current subscriber count.
+func (b *Broadcaster) Subscribers() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs)
+}
+
+// Close implements Sink: every subscription's channel is closed and
+// further subscriptions are refused.
+func (b *Broadcaster) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	for s := range b.subs {
+		s.close.Do(func() { close(s.ch) })
+		delete(b.subs, s)
+	}
+	return nil
+}

@@ -99,6 +99,16 @@ type DecisionEvent struct {
 	// controller-visible miss (actual execution exceeded the effective
 	// budget less the estimated switch time).
 	Missed bool `json:"missed,omitempty"`
+	// Spans is the decision's per-phase latency ledger (slice eval,
+	// model predict, level select, DVFS switch, job exec), flat in
+	// preorder with nesting encoded by Span.Depth. Empty when the
+	// source does not capture spans (old logs, record-only adapters,
+	// sampled-out decisions).
+	Spans []Span `json:"spans,omitempty"`
+	// SpanTotalSec is the ledger's extent — the end of its last
+	// top-level span — i.e. the decision's end-to-end time from slice
+	// start through job completion. Zero when Spans is empty.
+	SpanTotalSec float64 `json:"span_total_sec,omitempty"`
 }
 
 // UnderPredicted reports whether the event completed with the model

@@ -1,6 +1,11 @@
 package obs
 
-import "flag"
+import (
+	"flag"
+	"fmt"
+	"net/url"
+	"strconv"
+)
 
 // EventFilter slices a decision log the way an operator slices a
 // production JSONL file: by workload, by source-clock time, and to the
@@ -47,6 +52,59 @@ func (f EventFilter) Apply(events []DecisionEvent) []DecisionEvent {
 		out = out[len(out)-f.Last:]
 	}
 	return out
+}
+
+// Match reports whether a single event passes the Workload and
+// SinceSec criteria. Last is a log-tail criterion — it needs the whole
+// log — so it does not participate; live consumers (the event stream)
+// use Match per event and interpret Last as backlog replay depth.
+func (f EventFilter) Match(e *DecisionEvent) bool {
+	if f.Workload != "" && e.Workload != f.Workload {
+		return false
+	}
+	if f.SinceSec > 0 && e.TimeSec < f.SinceSec {
+		return false
+	}
+	return true
+}
+
+// Query encodes the filter as URL query parameters (the inverse of
+// what dvfsd's /v1/events and /debug/decisions handlers parse); empty
+// for a zero filter.
+func (f EventFilter) Query() url.Values {
+	q := url.Values{}
+	if f.Workload != "" {
+		q.Set("workload", f.Workload)
+	}
+	if f.SinceSec > 0 {
+		q.Set("since", strconv.FormatFloat(f.SinceSec, 'g', -1, 64))
+	}
+	if f.Last > 0 {
+		q.Set("last", strconv.Itoa(f.Last))
+	}
+	return q
+}
+
+// FilterFromQuery parses the workload/since/last query parameters of a
+// stream or debug request; absent parameters leave the zero value.
+func FilterFromQuery(q url.Values) (EventFilter, error) {
+	var f EventFilter
+	f.Workload = q.Get("workload")
+	if v := q.Get("since"); v != "" {
+		sec, err := strconv.ParseFloat(v, 64)
+		if err != nil || sec < 0 {
+			return f, fmt.Errorf("invalid since %q", v)
+		}
+		f.SinceSec = sec
+	}
+	if v := q.Get("last"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return f, fmt.Errorf("invalid last %q", v)
+		}
+		f.Last = n
+	}
+	return f, nil
 }
 
 // RegisterFilterFlags registers -workload, -since, and -last on fs,

@@ -39,6 +39,11 @@ type Report struct {
 	Overhead OverheadStats `json:"overhead"`
 	// Levels is per-level occupancy, ascending by level index.
 	Levels []LevelOccupancy `json:"levels"`
+	// SpanEvents counts events carrying a span ledger; Phases is the
+	// per-phase latency distribution over those ledgers (empty when the
+	// log has none — old logs, record-only adapters).
+	SpanEvents int         `json:"span_events,omitempty"`
+	Phases     []PhaseStat `json:"phases,omitempty"`
 }
 
 // ResidualStats is the residual distribution (seconds).
@@ -158,6 +163,12 @@ func Analyze(events []DecisionEvent) Report {
 		r.Overhead.PredictorFrac = r.Overhead.MeanPredictorSec / r.Overhead.MeanBudgetSec
 		r.Overhead.SwitchFrac = r.Overhead.MeanSwitchSec / r.Overhead.MeanBudgetSec
 	}
+	for i := range events {
+		if len(events[i].Spans) > 0 {
+			r.SpanEvents++
+		}
+	}
+	r.Phases = AnalyzePhases(events)
 	idxs := make([]int, 0, len(levels))
 	for l := range levels {
 		idxs = append(idxs, l)
@@ -197,6 +208,14 @@ func (r Report) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "margin      budget %.3f ms → effective %.3f ms (predictor %.2f%%, switch %.2f%% of budget)\n",
 			r.Overhead.MeanBudgetSec*1e3, r.Overhead.MeanEffBudgetSec*1e3,
 			100*r.Overhead.PredictorFrac, 100*r.Overhead.SwitchFrac)
+	}
+	if len(r.Phases) > 0 {
+		fmt.Fprintf(w, "phases      measured spans on %d events\n", r.SpanEvents)
+		for _, ph := range r.Phases {
+			fmt.Fprintf(w, "  %-14s %6d  mean %-10s p50 %-10s p95 %-10s max %s\n",
+				ph.Name, ph.N, FormatDur(ph.MeanSec), FormatDur(ph.P50Sec),
+				FormatDur(ph.P95Sec), FormatDur(ph.MaxSec))
+		}
 	}
 	fmt.Fprintf(w, "levels      occupancy over %d decisions\n", r.Events)
 	for _, l := range r.Levels {

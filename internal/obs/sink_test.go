@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -31,7 +32,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 		t.Fatalf("round trip returned %d events", len(got))
 	}
 	for i := range events {
-		if got[i] != events[i] {
+		if !reflect.DeepEqual(got[i], events[i]) {
 			t.Errorf("event %d mismatch:\n got %+v\nwant %+v", i, got[i], events[i])
 		}
 	}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// The live event stream speaks Server-Sent Events (SSE): one
+// `event: decision` block per DecisionEvent, `id:` carrying the
+// sequence number, `data:` the same JSON object the JSONL sinks write.
+// SSE needs nothing beyond HTTP/1.1 — curl tails it, EventSource
+// consumes it in a browser, and dvfstrace -follow decodes it with the
+// reader below.
+
+// WriteSSE writes one event in decision-stream SSE framing.
+func WriteSSE(w io.Writer, e *DecisionEvent) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: decision\ndata: %s\n\n", e.Seq, data)
+	return err
+}
+
+// ErrStopFollow, returned by a ReadSSE/Follow callback, stops the
+// stream without error.
+var ErrStopFollow = errors.New("obs: stop following stream")
+
+// ReadSSE decodes a decision SSE stream, invoking fn for every event
+// until the stream ends, fn returns an error, or a data payload fails
+// to parse. ErrStopFollow from fn is a clean stop (nil is returned).
+// Comment lines (keepalives) and unknown fields are ignored.
+func ReadSSE(r io.Reader, fn func(DecisionEvent) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var data []byte
+	flush := func() error {
+		if len(data) == 0 {
+			return nil
+		}
+		var e DecisionEvent
+		if err := json.Unmarshal(data, &e); err != nil {
+			return fmt.Errorf("obs: parsing stream event: %w", err)
+		}
+		data = nil
+		return fn(e)
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				if errors.Is(err, ErrStopFollow) {
+					return nil
+				}
+				return err
+			}
+		case strings.HasPrefix(line, "data:"):
+			if len(data) > 0 {
+				data = append(data, '\n')
+			}
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		default:
+			// id:, event:, retry:, and ": comment" keepalives carry no
+			// payload the decoder needs.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil && !errors.Is(err, ErrStopFollow) {
+		return err
+	}
+	return nil
+}
+
+// FollowOptions configures Follow.
+type FollowOptions struct {
+	// Filter is sent to the server as query parameters: workload and
+	// since filter the live stream, last replays that many ring-backlog
+	// events before live ones.
+	Filter EventFilter
+	// Max stops the follow (cleanly) after this many events; 0 follows
+	// until the stream closes or the context is cancelled.
+	Max int
+	// Client overrides the HTTP client; nil → http.DefaultClient.
+	Client *http.Client
+}
+
+// Follow connects to a dvfsd /v1/events URL and invokes fn for every
+// decision event until the stream ends, opts.Max events have arrived,
+// fn returns ErrStopFollow, or ctx is cancelled (a clean stop, not an
+// error). The URL should name the events endpoint itself; filter
+// parameters are appended.
+func Follow(ctx context.Context, url string, opts FollowOptions, fn func(DecisionEvent) error) error {
+	if q := opts.Filter.Query().Encode(); q != "" {
+		sep := "?"
+		if strings.Contains(url, "?") {
+			sep = "&"
+		}
+		url += sep + q
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("obs: %s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	n := 0
+	err = ReadSSE(resp.Body, func(e DecisionEvent) error {
+		if err := fn(e); err != nil {
+			return err
+		}
+		n++
+		if opts.Max > 0 && n >= opts.Max {
+			return ErrStopFollow
+		}
+		return nil
+	})
+	if err != nil && ctx.Err() != nil {
+		return nil // cancelled mid-read: a clean stop
+	}
+	return err
+}

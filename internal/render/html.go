@@ -13,7 +13,11 @@ import (
 // replay determinism check can compare them byte-for-byte.
 type HTMLPage struct {
 	Title string
-	body  strings.Builder
+	// RefreshSec > 0 emits a <meta http-equiv="refresh"> so a live page
+	// (dvfsd's /debug/dash) re-polls itself without any script. Leave 0
+	// for static reports, which must stay byte-deterministic.
+	RefreshSec int
+	body       strings.Builder
 }
 
 // NewHTMLPage starts a page.
@@ -103,10 +107,63 @@ func (p *HTMLPage) BarChart(title string, labels []string, values []float64, for
 	p.body.WriteString("</svg>\n")
 }
 
+// Sparkline draws a compact inline-SVG time series: values in order,
+// scaled to their own min/max, with the latest value printed after the
+// line. Made for the dashboard's rolling windows (miss rate, phase
+// latency) where shape matters more than axes. Non-finite inputs and
+// empty series render nothing.
+func (p *HTMLPage) Sparkline(title string, values []float64, format string) {
+	if len(values) == 0 {
+		return
+	}
+	minV, maxV := values[0], values[0]
+	for _, v := range values {
+		if v != v || v > 1e300 || v < -1e300 {
+			return
+		}
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	const (
+		w    = 240
+		h    = 36
+		padY = 4.0
+	)
+	span := maxV - minV
+	fmt.Fprintf(&p.body, "<div class=\"spark\"><span class=\"lbl\">%s</span>",
+		html.EscapeString(title))
+	fmt.Fprintf(&p.body, "<svg width=\"%d\" height=\"%d\" role=\"img\"><polyline class=\"line\" points=\"", w, h)
+	for i, v := range values {
+		x := 0.0
+		if len(values) > 1 {
+			x = float64(i) / float64(len(values)-1) * float64(w-2)
+		}
+		frac := 0.5
+		if span > 0 {
+			frac = (v - minV) / span
+		}
+		y := padY + (1-frac)*(float64(h)-2*padY)
+		sep := " "
+		if i == 0 {
+			sep = ""
+		}
+		fmt.Fprintf(&p.body, "%s%.1f,%.1f", sep, x+1, y)
+	}
+	p.body.WriteString("\"/></svg>")
+	fmt.Fprintf(&p.body, "<span class=\"val\">"+format+"</span></div>\n", values[len(values)-1])
+}
+
 // WriteTo renders the complete document.
 func (p *HTMLPage) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
 	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	if p.RefreshSec > 0 {
+		fmt.Fprintf(&b, "<meta http-equiv=\"refresh\" content=\"%d\">\n", p.RefreshSec)
+	}
 	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(p.Title))
 	b.WriteString(`<style>
 body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 64rem; color: #222; }
@@ -119,6 +176,11 @@ th.num, td.num { text-align: right; font-variant-numeric: tabular-nums; }
 p.note { background: #fff6d9; border-left: 3px solid #e0b400; padding: .4rem .7rem; }
 svg .bar { fill: #4a78b5; } svg .lbl { text-anchor: end; font-size: 12px; fill: #222; }
 svg .val { font-size: 12px; fill: #444; }
+div.spark { display: flex; align-items: center; gap: .6rem; margin: .2rem 0; }
+div.spark .lbl { width: 11rem; text-align: right; font-size: 12px; color: #222; }
+div.spark .val { font-size: 12px; color: #444; font-variant-numeric: tabular-nums; }
+div.spark svg { background: #f7f8fa; border: 1px solid #eee; }
+svg .line { fill: none; stroke: #4a78b5; stroke-width: 1.5; }
 </style>
 </head>
 <body>

@@ -49,6 +49,50 @@ func TestHTMLPageEscapesAndStructure(t *testing.T) {
 	}
 }
 
+func TestHTMLPageSparklineAndRefresh(t *testing.T) {
+	p := NewHTMLPage("live")
+	p.RefreshSec = 5
+	p.Sparkline("miss rate", []float64{0, 1, 0.5, 2}, "%.1f%%")
+	var b strings.Builder
+	p.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		`<meta http-equiv="refresh" content="5">`,
+		"polyline",
+		"miss rate",
+		"2.0%", // latest value printed after the line
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Static pages (RefreshSec = 0) must not carry the meta tag — the
+	// replay determinism check diffs report bytes.
+	p2 := NewHTMLPage("static")
+	p2.Sparkline("flat", []float64{3, 3, 3}, "%.0f")
+	var b2 strings.Builder
+	p2.WriteTo(&b2)
+	if strings.Contains(b2.String(), "http-equiv") {
+		t.Error("refresh meta on a static page")
+	}
+	// A flat series still draws (mid-height line), and degenerate
+	// inputs render nothing.
+	if !strings.Contains(b2.String(), "polyline") {
+		t.Error("flat sparkline rendered nothing")
+	}
+	p3 := NewHTMLPage("bad")
+	p3.Sparkline("empty", nil, "%.0f")
+	p3.Sparkline("nan", []float64{1, inf()}, "%.0f")
+	var b3 strings.Builder
+	p3.WriteTo(&b3)
+	if strings.Contains(b3.String(), "polyline") {
+		t.Error("degenerate sparkline inputs should render nothing")
+	}
+}
+
+func inf() float64 { x := 0.0; return 1 / x }
+
 func TestHTMLPageEmptyBarChart(t *testing.T) {
 	p := NewHTMLPage("t")
 	p.BarChart("empty", nil, nil, "%.0f")

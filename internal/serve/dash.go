@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/render"
+)
+
+// dashWindow bounds how many ring events feed the dashboard's rolling
+// views; missWindow is the trailing window for the miss-rate series.
+const (
+	dashWindow = 256
+	missWindow = 32
+)
+
+// handleDash serves GET /debug/dash: a self-contained operations
+// dashboard (inline CSS + SVG, zero scripts, zero external assets)
+// that re-polls itself via <meta refresh>. Everything on it comes from
+// state the daemon already holds — the tracer ring, the SLO tracker,
+// the drift monitor, and the stream broadcaster — so rendering is
+// read-only and cheap enough to leave unauthenticated on the debug
+// mux.
+func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
+	p := render.NewHTMLPage("dvfsd operations")
+	p.RefreshSec = 5
+
+	var events []obs.DecisionEvent
+	if s.tracer != nil {
+		events = s.tracer.Snapshot(dashWindow)
+	}
+
+	p.Section("Overview")
+	rows := [][]string{
+		{"uptime", fmt.Sprintf("%.0f s", time.Since(s.start).Seconds())},
+		{"models ready", fmt.Sprintf("%d", s.reg.Ready())},
+	}
+	if s.tracer != nil {
+		rows = append(rows,
+			[]string{"decisions traced", fmt.Sprintf("%d", s.tracer.Emitted())},
+			[]string{"ring overwrites", fmt.Sprintf("%d", s.tracer.Dropped())},
+		)
+	} else {
+		rows = append(rows, []string{"decision tracing", "disabled"})
+	}
+	if s.stream != nil {
+		rows = append(rows,
+			[]string{"stream subscribers", fmt.Sprintf("%d", s.stream.Subscribers())},
+			[]string{"stream drops", fmt.Sprintf("%d", s.stream.Dropped())},
+		)
+	}
+	p.Table([]string{"", ""}, rows, []bool{false, true})
+
+	if len(events) == 0 {
+		p.Note("No decisions in the trace ring yet — send predictions (dvfsload, or POST /v1/predict) and this page fills in.")
+		p.WriteTo(w)
+		return
+	}
+	rep := obs.Analyze(events)
+
+	p.Section(fmt.Sprintf("Rolling window (last %d decisions)", len(events)))
+	p.Para("Workloads: " + strings.Join(rep.Workloads, ", "))
+	p.Sparkline("miss rate", rollingMissRate(events, missWindow), "%.1f%%")
+	if rs := residualSeries(events); len(rs) > 0 {
+		p.Sparkline("residual", rs, "%+.3f ms")
+	}
+	if ds := decisionMicros(events); len(ds) > 0 {
+		p.Sparkline("decision time", ds, "%.1f µs")
+	}
+	p.Sparkline("level", levelSeries(events), "%.0f")
+
+	if len(rep.Phases) > 0 {
+		p.Section(fmt.Sprintf("Decision phases (spans on %d of %d events)", rep.SpanEvents, rep.Events))
+		phRows := make([][]string, 0, len(rep.Phases))
+		for _, ph := range rep.Phases {
+			phRows = append(phRows, []string{
+				ph.Name, fmt.Sprintf("%d", ph.N),
+				obs.FormatDur(ph.MeanSec), obs.FormatDur(ph.P50Sec),
+				obs.FormatDur(ph.P95Sec), obs.FormatDur(ph.MaxSec),
+			})
+		}
+		p.Table([]string{"phase", "n", "mean", "p50", "p95", "max"}, phRows,
+			[]bool{false, true, true, true, true, true})
+	}
+
+	labels := make([]string, 0, len(rep.Levels))
+	occs := make([]float64, 0, len(rep.Levels))
+	for _, l := range rep.Levels {
+		labels = append(labels, fmt.Sprintf("level %d", l.Level))
+		occs = append(occs, 100*l.Frac)
+	}
+	p.BarChart("Level occupancy", labels, occs, "%.1f%%")
+
+	if s.slo != nil {
+		p.Section(fmt.Sprintf("SLO burn (target %.2f%% miss rate)", 100*s.slo.Target()))
+		sloRows := [][]string{}
+		for _, st := range s.slo.Snapshot() {
+			alert := ""
+			if st.Alerting {
+				alert = "ALERT"
+			}
+			sloRows = append(sloRows, []string{
+				st.Workload, fmt.Sprintf("%d", st.Jobs), fmt.Sprintf("%d", st.Misses),
+				fmt.Sprintf("%.2f%%", 100*st.MissRate),
+				fmt.Sprintf("%.2f", st.FastBurn), fmt.Sprintf("%.2f", st.SlowBurn), alert,
+			})
+		}
+		if len(sloRows) > 0 {
+			p.Table([]string{"workload", "jobs", "misses", "miss rate", "fast burn", "slow burn", ""},
+				sloRows, []bool{false, true, true, true, true, true, false})
+		} else {
+			p.Para("No completed jobs observed yet.")
+		}
+	}
+
+	if s.tracer != nil && s.tracer.Drift() != nil {
+		d := s.tracer.Drift()
+		if wls := d.Workloads(); len(wls) > 0 {
+			p.Section("Prediction drift")
+			dRows := make([][]string, 0, len(wls))
+			for _, wl := range wls {
+				stale := "fresh"
+				if d.Stale(wl) {
+					stale = "STALE"
+				}
+				dRows = append(dRows, []string{
+					wl, stale,
+					fmt.Sprintf("%.1f%%", 100*d.UnderRate(wl)),
+					fmt.Sprintf("%+.3f ms", 1e3*d.Quantile(wl, 0.50)),
+					fmt.Sprintf("%+.3f ms", 1e3*d.Quantile(wl, 0.95)),
+				})
+			}
+			p.Table([]string{"workload", "model", "under-predictions", "residual p50", "residual p95"},
+				dRows, []bool{false, false, true, true, true})
+		}
+	}
+
+	p.WriteTo(w)
+}
+
+// rollingMissRate is the trailing-window deadline-miss percentage over
+// completed events, one point per completed event.
+func rollingMissRate(events []obs.DecisionEvent, window int) []float64 {
+	var done []bool
+	for i := range events {
+		if events[i].Done {
+			done = append(done, events[i].Missed)
+		}
+	}
+	out := make([]float64, 0, len(done))
+	misses := 0
+	for i, m := range done {
+		if m {
+			misses++
+		}
+		if i >= window && done[i-window] {
+			misses--
+		}
+		n := i + 1
+		if n > window {
+			n = window
+		}
+		out = append(out, 100*float64(misses)/float64(n))
+	}
+	return out
+}
+
+// residualSeries is actual − predicted in milliseconds per completed
+// predicted event.
+func residualSeries(events []obs.DecisionEvent) []float64 {
+	var out []float64
+	for i := range events {
+		if events[i].Done && events[i].Predicted {
+			out = append(out, 1e3*events[i].ResidualSec)
+		}
+	}
+	return out
+}
+
+// decisionMicros is the measured decision-phase time in microseconds
+// per span-carrying event (the decide/serve root span).
+func decisionMicros(events []obs.DecisionEvent) []float64 {
+	var out []float64
+	for i := range events {
+		for _, sp := range events[i].Spans {
+			if sp.Depth == 0 && (sp.Name == obs.PhaseDecide || sp.Name == obs.PhaseServe) {
+				out = append(out, 1e6*sp.DurSec)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// levelSeries is the chosen DVFS level per event.
+func levelSeries(events []obs.DecisionEvent) []float64 {
+	out := make([]float64, len(events))
+	for i := range events {
+		out[i] = float64(events[i].Level)
+	}
+	return out
+}

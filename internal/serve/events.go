@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// handleEvents serves GET /v1/events: the live decision stream in SSE
+// framing (see obs.WriteSSE). Query parameters take the standard
+// obs.EventFilter shape — ?workload= and ?since= filter the live
+// stream, ?last=N first replays up to N ring-backlog events so a new
+// subscriber starts with context instead of silence. Each subscriber
+// has a bounded queue; events it cannot keep up with are dropped (and
+// counted in obs_stream_dropped_total), never buffered unboundedly.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	f, err := obs.FilterFromQuery(r.URL.Query())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "streaming unsupported by connection"})
+		return
+	}
+	// Subscribe before reading the backlog so no event can fall between
+	// snapshot and live feed; overlap is deduplicated by sequence number.
+	sub := s.stream.Subscribe(f)
+	defer sub.Cancel()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	var lastSeq uint64
+	replayed := false
+	if f.Last > 0 && s.tracer != nil {
+		for _, e := range f.Apply(s.tracer.Snapshot(0)) {
+			if err := obs.WriteSSE(w, &e); err != nil {
+				return
+			}
+			lastSeq = e.Seq
+			replayed = true
+		}
+	}
+	fl.Flush()
+
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-sub.C:
+			if !ok {
+				return // broadcaster shut down
+			}
+			if replayed && e.Seq <= lastSeq {
+				continue // already sent from the backlog
+			}
+			if err := obs.WriteSSE(w, &e); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-keepalive.C:
+			// SSE comment: keeps idle connections alive through proxies
+			// and lets the client detect a dead server.
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

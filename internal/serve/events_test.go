@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+// streamStack builds a serve stack with the full live-telemetry wiring
+// cmd/dvfsd uses: tracer ring → broadcaster sink → /v1/events, plus
+// the debug surfaces, with one uploaded sha model.
+func streamStack(t *testing.T) (*httptest.Server, *obs.Tracer, *obs.Broadcaster) {
+	t.Helper()
+	plat := platform.ODROIDXU3A7()
+	sw := platform.MeasureSwitchTable(plat, 500, 0.95, testSeed)
+	reg, err := NewRegistry(RegistryOptions{Plat: plat, Switch: sw, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	stream := obs.NewBroadcaster(obs.BroadcasterOptions{QueueSize: 64})
+	tracer := obs.NewTracer(obs.TracerOptions{RingSize: 64, Sinks: []obs.Sink{stream}})
+	srv := NewServer(reg, ServerOptions{Tracer: tracer, Stream: stream, EnableDebug: true})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	ctl := referenceController(t, plat, sw, "sha")
+	var buf bytes.Buffer
+	if err := core.SaveController(&buf, ctl); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/models/sha?mode=upload", "application/json", bytes.NewReader(buf.Bytes()))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %v HTTP %v", err, resp)
+	}
+	resp.Body.Close()
+	return ts, tracer, stream
+}
+
+func postPredictions(t *testing.T, ts *httptest.Server, n int) {
+	t.Helper()
+	jobs, err := GenerateJobs("sha", n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range jobs {
+		body, _ := json.Marshal(PredictRequest{Model: "sha", PredictJob: job})
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict: HTTP %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestEventsStreamE2E is the serve-side acceptance path: a live
+// follower subscribed to /v1/events sees every prediction the daemon
+// makes, in SSE framing, carrying the serve span ledger whose phases
+// nest and sum consistently.
+func TestEventsStreamE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	ts, _, _ := streamStack(t)
+
+	const n = 6
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got := make(chan obs.DecisionEvent, n)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- obs.Follow(ctx, ts.URL+"/v1/events", obs.FollowOptions{Max: n},
+			func(e obs.DecisionEvent) error {
+				got <- e
+				return nil
+			})
+	}()
+	// Give the follower a moment to connect before generating events;
+	// the stream has no replay buffer without ?last=.
+	time.Sleep(100 * time.Millisecond)
+	postPredictions(t, ts, n)
+
+	if err := <-errc; err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	close(got)
+	count := 0
+	for e := range got {
+		count++
+		if e.Workload != "sha" || e.Governor != "serve" || !e.Predicted {
+			t.Errorf("streamed event: %+v", e)
+		}
+		if len(e.Spans) == 0 {
+			t.Fatalf("streamed event carries no span ledger: %+v", e)
+		}
+		// The serve ledger: a "serve" root with ingest, lookup, predict,
+		// and select nested under it.
+		root := e.Spans[0]
+		if root.Name != obs.PhaseServe || root.Depth != 0 {
+			t.Fatalf("ledger root = %+v", root)
+		}
+		var childSum float64
+		seen := map[string]bool{}
+		for _, sp := range e.Spans[1:] {
+			if sp.Depth != 1 {
+				t.Errorf("unexpected depth in serve ledger: %+v", sp)
+			}
+			seen[sp.Name] = true
+			childSum += sp.DurSec
+		}
+		for _, want := range []string{obs.PhaseIngest, obs.PhaseLookup, obs.PhasePredict, obs.PhaseSelect} {
+			if !seen[want] {
+				t.Errorf("serve ledger missing %s: %+v", want, e.Spans)
+			}
+		}
+		const eps = 1e-9
+		if childSum > root.DurSec+eps {
+			t.Errorf("serve children sum %g > root %g", childSum, root.DurSec)
+		}
+		// One-shot events have no outcome spans, so the ledger's extent
+		// is the serve root itself — the decision's end-to-end time.
+		if diff := e.SpanTotalSec - root.EndSec(); diff > eps || diff < -eps {
+			t.Errorf("span total %g != serve end %g", e.SpanTotalSec, root.EndSec())
+		}
+	}
+	if count != n {
+		t.Fatalf("followed %d events, want %d", count, n)
+	}
+}
+
+// TestEventsBacklogReplay: ?last=N replays ring history to a fresh
+// subscriber, so following after the fact still yields events — this
+// is what makes `dvfstrace -follow -last N` deterministic in scripts.
+func TestEventsBacklogReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	ts, tracer, _ := streamStack(t)
+	postPredictions(t, ts, 5)
+	if tracer.Emitted() != 5 {
+		t.Fatalf("emitted = %d", tracer.Emitted())
+	}
+
+	var seqs []uint64
+	err := obs.Follow(context.Background(), ts.URL+"/v1/events",
+		obs.FollowOptions{Filter: obs.EventFilter{Last: 3}, Max: 3},
+		func(e obs.DecisionEvent) error {
+			seqs = append(seqs, e.Seq)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 || seqs[0] != 2 || seqs[2] != 4 {
+		t.Errorf("backlog seqs = %v, want [2 3 4]", seqs)
+	}
+
+	// A filter that matches nothing replays nothing and stays live
+	// (cancel via context to end the test).
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	n := 0
+	err = obs.Follow(ctx, ts.URL+"/v1/events",
+		obs.FollowOptions{Filter: obs.EventFilter{Workload: "nope", Last: 5}},
+		func(obs.DecisionEvent) error { n++; return nil })
+	if err != nil || n != 0 {
+		t.Errorf("non-matching follow: err=%v n=%d", err, n)
+	}
+}
+
+func TestEventsEndpointErrors(t *testing.T) {
+	reg, err := NewRegistry(RegistryOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	// No Stream configured → the route does not exist.
+	ts := httptest.NewServer(NewServer(reg, ServerOptions{}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("no-stream events: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	// Bad filter parameters are a 400, not a hung stream.
+	stream := obs.NewBroadcaster(obs.BroadcasterOptions{})
+	defer stream.Close()
+	ts2 := httptest.NewServer(NewServer(reg, ServerOptions{Stream: stream}))
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/v1/events?since=yesterday")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e ErrorResponse
+	json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(e.Error, "invalid since") {
+		t.Errorf("bad since: HTTP %d, %+v", resp.StatusCode, e)
+	}
+}
+
+// TestDecisionsFilter exercises the satellite: /debug/decisions takes
+// the same workload/since/last query parameters as the stream and the
+// CLI flags.
+func TestDecisionsFilter(t *testing.T) {
+	reg, err := NewRegistry(RegistryOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	tracer := obs.NewTracer(obs.TracerOptions{RingSize: 64})
+	ts := httptest.NewServer(NewServer(reg, ServerOptions{Tracer: tracer, EnableDebug: true}))
+	defer ts.Close()
+
+	for i := 0; i < 6; i++ {
+		wl := "sha"
+		if i%2 == 1 {
+			wl = "ldecode"
+		}
+		tracer.Emit(obs.DecisionEvent{Workload: wl, Job: i, TimeSec: float64(i)})
+	}
+
+	fetch := func(query string) []obs.DecisionEvent {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/debug/decisions" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d", query, resp.StatusCode)
+		}
+		var events []obs.DecisionEvent
+		if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+
+	if got := fetch("?workload=sha"); len(got) != 3 || got[0].Workload != "sha" {
+		t.Errorf("workload filter: %+v", got)
+	}
+	if got := fetch("?since=4"); len(got) != 2 || got[0].TimeSec != 4 {
+		t.Errorf("since filter: %+v", got)
+	}
+	if got := fetch("?last=2"); len(got) != 2 || got[0].Job != 4 {
+		t.Errorf("last filter: %+v", got)
+	}
+	if got := fetch("?workload=ldecode&last=1"); len(got) != 1 || got[0].Job != 5 {
+		t.Errorf("combined filter: %+v", got)
+	}
+	if got := fetch("?workload=nope"); len(got) != 0 {
+		t.Errorf("non-matching filter returned %+v", got)
+	}
+	resp, err := http.Get(ts.URL + "/debug/decisions?last=-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad last: HTTP %d, want 400", resp.StatusCode)
+	}
+}

@@ -41,9 +41,16 @@ type ServerOptions struct {
 	// SLO, when non-nil, is served at GET /debug/slo (per-workload
 	// deadline-miss burn-rate status).
 	SLO *obs.SLOTracker
+	// Stream, when non-nil, is served at GET /v1/events as a live SSE
+	// decision stream. The broadcaster must also be attached to the
+	// tracer as a sink (cmd/dvfsd wires both ends).
+	Stream *obs.Broadcaster
+	// SpanEvery samples the per-phase span ledger on every Nth traced
+	// prediction; ≤ 1 captures all of them.
+	SpanEvery int
 	// EnableDebug mounts GET /debug/decisions (the tracer ring as
-	// JSON), GET /debug/slo, and the net/http/pprof handlers under
-	// /debug/pprof/.
+	// JSON), GET /debug/dash (the operations dashboard), GET
+	// /debug/slo, and the net/http/pprof handlers under /debug/pprof/.
 	EnableDebug bool
 }
 
@@ -59,6 +66,8 @@ type Server struct {
 	maxBody int64
 	tracer  *obs.Tracer
 	slo     *obs.SLOTracker
+	stream  *obs.Broadcaster
+	spans   *obs.SpanSampler
 	start   time.Time
 	mux     *http.ServeMux
 }
@@ -93,6 +102,8 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 		maxBody: opts.MaxBodyBytes,
 		tracer:  opts.Tracer,
 		slo:     opts.SLO,
+		stream:  opts.Stream,
+		spans:   obs.NewSpanSampler(opts.SpanEvery),
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
 	}
@@ -102,8 +113,15 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/models/{name}", s.guard("models_put", s.handleModelPut))
 	s.mux.HandleFunc("POST /v1/predict", s.guard("predict", s.handlePredict))
 	s.mux.HandleFunc("POST /v1/predict/batch", s.guard("predict_batch", s.handlePredictBatch))
+	if opts.Stream != nil {
+		// Deliberately unguarded: a stream is long-lived by design, so
+		// the per-request timeout and the inflight semaphore would
+		// either kill it or let stalled streams starve the API.
+		s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	}
 	if opts.EnableDebug {
 		s.mux.HandleFunc("GET /debug/decisions", s.handleDecisions)
+		s.mux.HandleFunc("GET /debug/dash", s.handleDash)
 		s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -219,7 +237,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleDecisions dumps the most recent decision events from the
 // tracer ring as JSON — a live tail of what the daemon is deciding,
-// without attaching a sink. ?n= bounds the count (default 100).
+// without attaching a sink. ?n= bounds the raw snapshot (default 100);
+// ?workload=, ?since=, and ?last= apply the same obs.EventFilter
+// dvfstrace and dvfsreplay take as flags.
 func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	if s.tracer == nil {
 		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "decision tracing disabled (start dvfsd with tracing enabled)"})
@@ -234,7 +254,21 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	writeJSON(w, http.StatusOK, s.tracer.Snapshot(n))
+	f, err := obs.FilterFromQuery(r.URL.Query())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if !f.IsZero() {
+		// Filters select from the whole ring; ?n= alone keeps the cheap
+		// tail-only snapshot.
+		n = 0
+	}
+	events := f.Apply(s.tracer.Snapshot(n))
+	if events == nil {
+		events = []obs.DecisionEvent{}
+	}
+	writeJSON(w, http.StatusOK, events)
 }
 
 // handleSLO reports every workload's deadline-miss SLO state: target,
@@ -305,12 +339,22 @@ func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	// The span ledger roots at "serve" and opens with request ingest so
+	// the HTTP read + decode is attributed; predictOne adds the lookup
+	// and decision phases. st is nil when untraced or sampled out.
+	var st *obs.SpanTimer
+	if s.tracer != nil {
+		st = s.spans.Timer()
+		st.Start(obs.PhaseServe)
+		st.Start(obs.PhaseIngest)
+	}
 	var req PredictRequest
 	if err := decodeBody(r, &req, false); err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
-	resp, err := s.predictOne(req.Model, req.PredictJob)
+	st.End()
+	resp, err := s.predictOne(req.Model, req.PredictJob, st)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
@@ -334,7 +378,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := BatchResponse{Model: req.Model, Results: make([]PredictResponse, len(req.Jobs))}
 	for i, job := range req.Jobs {
-		one, err := s.predictOne(req.Model, job)
+		one, err := s.predictOne(req.Model, job, nil)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("job %d: %v", i, err)})
 			return
@@ -346,8 +390,15 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 
 // predictOne runs the shared run-time decision (the same
 // core.Controller.PredictTrace the simulator's JobStart uses) on a
-// wire-encoded trace.
-func (s *Server) predictOne(model string, job PredictJob) (PredictResponse, error) {
+// wire-encoded trace. st carries the request's span ledger when the
+// caller already opened one (handlePredict times the ingest phase);
+// batch jobs pass nil and get a fresh per-job ledger.
+func (s *Server) predictOne(model string, job PredictJob, st *obs.SpanTimer) (PredictResponse, error) {
+	if st == nil && s.tracer != nil {
+		st = s.spans.Timer()
+		st.Start(obs.PhaseServe)
+	}
+	st.Start(obs.PhaseLookup)
 	ctl, err := s.reg.Get(model)
 	if err != nil {
 		return PredictResponse{}, err
@@ -356,6 +407,7 @@ func (s *Server) predictOne(model string, job PredictJob) (PredictResponse, erro
 	if err != nil {
 		return PredictResponse{}, err
 	}
+	st.End()
 	plat := ctl.Plat
 	cur := plat.MaxLevel()
 	if job.Level != nil {
@@ -372,7 +424,7 @@ func (s *Server) predictOne(model string, job PredictJob) (PredictResponse, erro
 	if budget < 0 || job.PredictorSec < 0 {
 		return PredictResponse{}, fmt.Errorf("serve: negative budget or predictor cost")
 	}
-	p := ctl.PredictTrace(tr, job.Params, budget, job.PredictorSec, cur)
+	p := ctl.PredictTraceSpans(tr, job.Params, budget, job.PredictorSec, cur, st)
 	s.metrics.ObserveDecision(model, p.Target.Index)
 	if s.tracer != nil {
 		// One-shot: the job executes on the client, so the event is
@@ -381,6 +433,7 @@ func (s *Server) predictOne(model string, job PredictJob) (PredictResponse, erro
 		if ctl.Selector.Switch != nil {
 			switchSec = ctl.Selector.Switch.Lookup(cur.Index, p.Target.Index)
 		}
+		spans, spanTotal := st.Finish()
 		s.tracer.Emit(obs.DecisionEvent{
 			Workload:         model,
 			Governor:         "serve",
@@ -397,6 +450,8 @@ func (s *Server) predictOne(model string, job PredictJob) (PredictResponse, erro
 			EffBudgetSec:     p.EffBudgetSec,
 			PredictorSec:     p.PredictorSec,
 			SwitchSec:        switchSec,
+			Spans:            spans,
+			SpanTotalSec:     spanTotal,
 		})
 	}
 	return PredictResponse{

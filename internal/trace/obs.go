@@ -94,6 +94,11 @@ func MergeDecisions(live []obs.DecisionEvent, r *sim.Result) []obs.DecisionEvent
 			if e.Predicted {
 				e.ResidualSec = rec.ExecSec - e.PredictedExecSec
 			}
+			// Re-time the span ledger's outcome phases with the measured
+			// ground truth: the jittered switch the platform actually
+			// performed and the job's simulated execution replace the
+			// decision-time estimates (AppendOutcomeSpans is idempotent).
+			obs.AppendOutcomeSpans(&e, rec.SwitchSec, rec.ExecSec)
 		}
 		out = append(out, e)
 	}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestEmitDecisionsJSONLRoundTrip(t *testing.T) {
 		t.Fatalf("round trip returned %d events, want %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Errorf("event %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
 		}
 	}
@@ -94,5 +95,44 @@ func TestMergeDecisions(t *testing.T) {
 	// Empty live input degrades to the pure record adapter.
 	if noLive := MergeDecisions(nil, r); len(noLive) != 2 || noLive[0].FeatHash != 0 {
 		t.Errorf("empty live merge: %+v", noLive)
+	}
+}
+
+// TestMergeDecisionsRetimesSpans: the merge replaces the ledger's
+// estimated outcome phases (JobEnd's switch estimate and the
+// controller-visible execution time) with the simulation's measured
+// ground truth, leaving the decision phases untouched.
+func TestMergeDecisionsRetimesSpans(t *testing.T) {
+	r := sample()
+	live := []obs.DecisionEvent{{
+		Workload: "ldecode", Governor: "prediction", Job: 0,
+		Predicted: true, PredictedExecSec: 0.021,
+		Done: true, ActualExecSec: 0.018,
+		Spans: []obs.Span{
+			{Name: obs.PhaseDecide, StartSec: 0, DurSec: 0.001},
+			{Name: obs.PhaseSliceEval, Depth: 1, StartSec: 0, DurSec: 0.0006},
+			{Name: obs.PhaseSwitch, StartSec: 0.001, DurSec: 0.005}, // stale estimate
+			{Name: obs.PhaseExec, StartSec: 0.006, DurSec: 0.018},   // stale exec
+		},
+		SpanTotalSec: 0.024,
+	}}
+	got := MergeDecisions(live, r)
+	e := got[0]
+	rec := r.Records[0]
+	if d := obs.SpanDur(e.Spans, obs.PhaseSwitch); math.Abs(d-rec.SwitchSec) > 1e-12 {
+		t.Errorf("switch span %g, want measured %g", d, rec.SwitchSec)
+	}
+	if d := obs.SpanDur(e.Spans, obs.PhaseExec); math.Abs(d-rec.ExecSec) > 1e-12 {
+		t.Errorf("exec span %g, want measured %g", d, rec.ExecSec)
+	}
+	if d := obs.SpanDur(e.Spans, obs.PhaseDecide); d != 0.001 {
+		t.Errorf("decide span %g changed by merge", d)
+	}
+	if want := 0.001 + rec.SwitchSec + rec.ExecSec; math.Abs(e.SpanTotalSec-want) > 1e-12 {
+		t.Errorf("span total %g, want %g", e.SpanTotalSec, want)
+	}
+	// Span-less live events stay span-less.
+	if len(got[1].Spans) != 0 {
+		t.Errorf("record-only event grew a ledger: %+v", got[1].Spans)
 	}
 }
