@@ -1,9 +1,9 @@
 # Local mirror of .github/workflows/ci.yml: `make check` runs the
 # exact gate CI enforces.
 
-.PHONY: check fmt vet build test lint bench serve-bench obs-bench trace-smoke replay-smoke replay-bench dash-smoke
+.PHONY: check fmt vet build test lint alloc-gate bench serve-bench obs-bench trace-smoke replay-smoke replay-bench dash-smoke
 
-check: fmt vet build test lint
+check: fmt vet build test lint alloc-gate
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -11,8 +11,20 @@ fmt:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
+# go vet plus the self-hosted analyzer suite (cmd/dvfsvet):
+# hotpathalloc, noblock, lockdiscipline, clockdiscipline over the
+# module's own annotated code.
 vet:
 	go vet ./...
+	go run ./cmd/dvfsvet ./...
+
+# Runtime half of the hotpathalloc guarantee: AllocsPerRun == 0 on the
+# core decision path, span capture, and the feature hash. Run without
+# -race — the detector's instrumentation allocates, so these tests
+# skip themselves under it.
+alloc-gate:
+	go test -count=1 -run 'TestPredictTraceZeroAlloc' ./internal/core
+	go test -count=1 -run 'TestSpanCaptureZeroAlloc|TestFeatureHashZeroAlloc' ./internal/obs
 
 build:
 	go build ./...

@@ -185,7 +185,7 @@ func TestCLIRejectsBadLogFlags(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns the go tool")
 	}
-	for _, tool := range []string{"dvfssim", "dvfsprofile", "dvfsbench", "dvfslint", "dvfsload", "dvfsd", "dvfstrace"} {
+	for _, tool := range []string{"dvfssim", "dvfsprofile", "dvfsbench", "dvfslint", "dvfsvet", "dvfsload", "dvfsd", "dvfstrace"} {
 		t.Run(tool, func(t *testing.T) {
 			out := failCLI(t, "./cmd/"+tool, "-log-level", "loud")
 			if !strings.Contains(out, "unknown log level") {
@@ -441,5 +441,98 @@ func TestCLISimTraceIntoDvfsreplay(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "events      10 ") {
 		t.Errorf("filtered report should count 10 events:\n%s", out)
+	}
+}
+
+// The self-hosted Go analyzers must pass over the repo itself: the
+// annotated hot paths and emit paths are the acceptance gate.
+func TestCLIDvfsvetCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := runCLI(t, "./cmd/dvfsvet", "./...")
+	if !strings.Contains(out, "dvfsvet: ok") {
+		t.Errorf("expected a clean vet of the module:\n%s", out)
+	}
+}
+
+// A seeded allocation in a //dvfs:hotpath function must make dvfsvet
+// exit non-zero and name the finding.
+func TestCLIDvfsvetFlagsSeededBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	src := `package bad
+
+// hot is a marked decision path with a seeded allocation.
+//
+//dvfs:hotpath
+func hot(n int) []int {
+	return make([]int, n)
+}
+`
+	if err := os.WriteFile(dir+"/bad.go", []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := failCLI(t, "./cmd/dvfsvet", dir)
+	for _, want := range []string{"hotpathalloc", "alloc-make", "make allocates", "1 finding(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Both lint tools share the -format json contract: a findings array
+// plus counts, and the same exit codes as text mode.
+func TestCLIDvfsvetJSONFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := runCLI(t, "./cmd/dvfsvet", "-format", "json", "./internal/vet")
+	for _, want := range []string{`"findings": []`, `"count": 0`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIDvfslintJSONFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := runCLI(t, "./cmd/dvfslint", "-format", "json", "-workload", "ldecode")
+	for _, want := range []string{`"findings"`, `"severity": "warn"`, `"errors": 0`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "dvfslint: ok") {
+		t.Errorf("json mode must not print the text summary:\n%s", out)
+	}
+}
+
+// An unknown -format is a usage error (exit 2) for both tools.
+func TestCLIRejectsBadFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	for _, tool := range []string{"dvfslint", "dvfsvet"} {
+		t.Run(tool, func(t *testing.T) {
+			out := failCLI(t, "./cmd/"+tool, "-format", "yaml")
+			if !strings.Contains(out, "unknown format") {
+				t.Errorf("missing format error:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestCLIDvfsvetRejectsBadAnalyzer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := failCLI(t, "./cmd/dvfsvet", "-analyzers", "speling")
+	if !strings.Contains(out, "unknown analyzer") {
+		t.Errorf("missing analyzer error:\n%s", out)
 	}
 }

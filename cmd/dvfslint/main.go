@@ -11,6 +11,7 @@
 //	dvfslint -workload ldecode            lint one benchmark (or "all")
 //	dvfslint -file prog.json              lint a task program file
 //	dvfslint -rand 50 -seed 3             lint generated random programs
+//	dvfslint -format json -workload all   machine-readable findings
 //
 // Exit status: 0 when only warnings (or nothing) were found, 1 when
 // any error-severity finding or verification failure was reported,
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -38,6 +40,7 @@ func main() {
 	nRand := flag.Int("rand", 0, "lint this many generated random programs")
 	seed := flag.Int64("seed", 1, "seed for -rand")
 	jobs := flag.Int("jobs", 5, "jobs per workload for the run-time undefined-read check")
+	format := flag.String("format", "text", `output format: "text" or "json"`)
 	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -46,54 +49,125 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "dvfslint: unknown format %q (want text or json)\n", *format)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *wName == "" && *file == "" && *nRand == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	errs, err := run(*wName, *file, *nRand, *seed, *jobs)
-	if err != nil {
+	rep := &reporter{format: *format}
+	if err := run(rep, *wName, *file, *nRand, *seed, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfslint:", err)
 		os.Exit(2)
 	}
-	if errs > 0 {
-		fmt.Printf("dvfslint: %d error(s)\n", errs)
-		os.Exit(1)
-	}
-	fmt.Println("dvfslint: ok")
+	os.Exit(rep.finish())
 }
 
-// run lints the selected programs and returns the number of
-// error-severity findings.
-func run(wName, file string, nRand int, seed int64, jobs int) (int, error) {
-	errs := 0
+// reporter collects findings into groups and renders them as text
+// (incrementally, matching the historical output) or as one JSON
+// document at the end. Info lines — slice summaries and the like —
+// are text-mode color, not findings, and are dropped from JSON.
+type reporter struct {
+	format string
+	errs   int
+	all    []jsonFinding
+}
+
+// jsonFinding is one finding in -format json output.
+type jsonFinding struct {
+	Group    string `json:"group"`
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Msg      string `json:"msg"`
+}
+
+// report records a group of findings under a title.
+func (r *reporter) report(title string, findings []analysis.Finding) {
+	r.errs += analysis.ErrorCount(findings)
+	if len(findings) == 0 {
+		return
+	}
+	if r.format == "text" {
+		fmt.Printf("== %s\n", title)
+		for _, f := range findings {
+			fmt.Printf("  %s\n", f)
+		}
+		return
+	}
+	for _, f := range findings {
+		r.all = append(r.all, jsonFinding{
+			Group: title, Severity: f.Sev.String(), Code: f.Code, Msg: f.Msg,
+		})
+	}
+}
+
+// infof prints an informational line in text mode only.
+func (r *reporter) infof(formatStr string, args ...any) {
+	if r.format == "text" {
+		fmt.Printf(formatStr, args...)
+	}
+}
+
+// finish renders the summary (or the JSON document) and returns the
+// process exit code.
+func (r *reporter) finish() int {
+	if r.format == "json" {
+		out := struct {
+			Findings []jsonFinding `json:"findings"`
+			Count    int           `json:"count"`
+			Errors   int           `json:"errors"`
+		}{Findings: r.all, Count: len(r.all), Errors: r.errs}
+		if out.Findings == nil {
+			out.Findings = []jsonFinding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "dvfslint:", err)
+			return 2
+		}
+	} else if r.errs > 0 {
+		fmt.Printf("dvfslint: %d error(s)\n", r.errs)
+	} else {
+		fmt.Println("dvfslint: ok")
+	}
+	if r.errs > 0 {
+		return 1
+	}
+	return 0
+}
+
+// run lints the selected programs, reporting through rep.
+func run(rep *reporter, wName, file string, nRand int, seed int64, jobs int) error {
 	switch {
 	case wName == "all":
 		for _, w := range workload.All() {
-			errs += lintWorkload(w, jobs)
+			lintWorkload(rep, w, jobs)
 		}
 	case wName != "":
 		w, err := workload.ByName(wName)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		errs += lintWorkload(w, jobs)
+		lintWorkload(rep, w, jobs)
 	}
 	if file != "" {
 		data, err := os.ReadFile(file)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		p, err := taskir.UnmarshalProgram(data)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		// A file that already carries feature statements claims to be
 		// instrumented, so coverage gaps are findings; a raw task
 		// program legitimately has no counters yet.
 		opts := analysis.LintOptions{CheckCoverage: hasFeatures(p)}
-		findings := analysis.Lint(p, opts)
-		report(p.Name+" (file)", findings)
-		errs += analysis.ErrorCount(findings)
+		rep.report(p.Name+" (file)", analysis.Lint(p, opts))
 	}
 	if nRand > 0 {
 		rng := rand.New(rand.NewSource(seed))
@@ -106,45 +180,40 @@ func run(wName, file string, nRand int, seed int64, jobs int) (int, error) {
 			// lint hits; a bad-slice error, however, is an analysis or
 			// slicer regression.
 			findings = append(findings, verifySliceOf(p)...)
-			report(p.Name, findings)
-			errs += analysis.ErrorCount(findings)
+			rep.report(p.Name, findings)
 		}
 	}
-	return errs, nil
+	return nil
 }
 
 // lintWorkload lints the raw program, the instrumented copy, the full
 // prediction slice, and runs a few jobs with read tracking to confirm
-// undefined reads at run time. Returns the error count.
-func lintWorkload(w *workload.Workload, jobs int) int {
-	findings := analysis.Lint(w.Prog, analysis.LintOptions{})
-	report(w.Name+" (raw)", findings)
-	errs := analysis.ErrorCount(findings)
+// undefined reads at run time.
+func lintWorkload(rep *reporter, w *workload.Workload, jobs int) {
+	rep.report(w.Name+" (raw)", analysis.Lint(w.Prog, analysis.LintOptions{}))
 
 	ip := instrument.Instrument(w.Prog)
-	ifindings := analysis.Lint(ip.Prog, analysis.LintOptions{CheckCoverage: true})
-	report(w.Name+" (instrumented)", ifindings)
-	errs += analysis.ErrorCount(ifindings)
+	rep.report(w.Name+" (instrumented)",
+		analysis.Lint(ip.Prog, analysis.LintOptions{CheckCoverage: true}))
 
-	sfindings := verifySliceStatic(ip, w)
-	report(w.Name+" (slice)", sfindings)
-	errs += analysis.ErrorCount(sfindings)
+	rep.report(w.Name+" (slice)", verifySliceStatic(rep, ip, w))
 
-	if reads := runtimeUndefReads(w, jobs); len(reads) > 0 {
-		fmt.Printf("== %s (runtime)\n", w.Name)
-		for _, v := range reads {
-			fmt.Printf("  error [undefined-read] variable %q read before definition during job execution\n", v)
-			errs++
-		}
+	var rfindings []analysis.Finding
+	for _, v := range runtimeUndefReads(w, jobs) {
+		rfindings = append(rfindings, analysis.Finding{
+			Sev:  analysis.SevError,
+			Code: "undefined-read",
+			Msg:  fmt.Sprintf("variable %q read before definition during job execution", v),
+		})
 	}
-	return errs
+	rep.report(w.Name+" (runtime)", rfindings)
 }
 
 // verifySliceStatic extracts the full slice, verifies it, and reports
 // its static worst-case overhead bound.
-func verifySliceStatic(ip *instrument.Program, w *workload.Workload) []analysis.Finding {
+func verifySliceStatic(rep *reporter, ip *instrument.Program, w *workload.Workload) []analysis.Finding {
 	sl := slicer.Extract(ip, nil)
-	rep, err := analysis.VerifySlice(ip, sl)
+	rep2, err := analysis.VerifySlice(ip, sl)
 	var findings []analysis.Finding
 	if err != nil {
 		findings = append(findings, analysis.Finding{Sev: analysis.SevError, Code: "bad-slice", Msg: err.Error()})
@@ -156,8 +225,8 @@ func verifySliceStatic(ip *instrument.Program, w *workload.Workload) []analysis.
 		boundMsg = fmt.Sprintf("%.0f stmts, %.3g ms at fmax",
 			bound.Stmts, 1e3*plat.JobTimeAt(bound.CPUWork(), 0, plat.MaxLevel()))
 	}
-	fmt.Printf("== %s (slice) %d/%d stmts, features %v, writes globals %v (isolated), worst case %s\n",
-		w.Name, sl.SliceStmts, sl.FullStmts, rep.ComputedFIDs, rep.GlobalsWritten, boundMsg)
+	rep.infof("== %s (slice) %d/%d stmts, features %v, writes globals %v (isolated), worst case %s\n",
+		w.Name, sl.SliceStmts, sl.FullStmts, rep2.ComputedFIDs, rep2.GlobalsWritten, boundMsg)
 	return findings
 }
 
@@ -187,16 +256,6 @@ func runtimeUndefReads(w *workload.Workload, jobs int) []string {
 		}
 	}
 	return env.UndefinedReads()
-}
-
-func report(title string, findings []analysis.Finding) {
-	if len(findings) == 0 {
-		return
-	}
-	fmt.Printf("== %s\n", title)
-	for _, f := range findings {
-		fmt.Printf("  %s\n", f)
-	}
 }
 
 func hasFeatures(p *taskir.Program) bool {

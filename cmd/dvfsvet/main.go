@@ -1,0 +1,112 @@
+// Command dvfsvet runs the module's self-hosted static analyzers
+// (internal/vet) over Go packages: hotpathalloc, noblock,
+// lockdiscipline, and clockdiscipline — the machine-checked form of
+// the paper's overhead budget for the serving stack itself.
+//
+// Usage:
+//
+//	dvfsvet ./...                      vet the whole module (default)
+//	dvfsvet internal/obs internal/core vet specific packages
+//	dvfsvet -analyzers hotpathalloc,noblock ./...
+//	dvfsvet -format json ./...         machine-readable findings
+//
+// Exit status: 0 when no findings, 1 when any analyzer reported a
+// finding, 2 on usage, load, or type-check errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/vet"
+)
+
+func main() {
+	format := flag.String("format", "text", `output format: "text" or "json"`)
+	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
+	flag.Parse()
+
+	if _, err := logFlags.Logger(os.Stderr); err != nil {
+		usageErr(err)
+	}
+	if *format != "text" && *format != "json" {
+		usageErr(fmt.Errorf("unknown format %q (want text or json)", *format))
+	}
+	suite := vet.DefaultSuite()
+	if *analyzers != "" {
+		byName := map[string]*vet.Analyzer{}
+		for _, a := range suite.Analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*vet.Analyzer
+		for _, name := range strings.Split(*analyzers, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				usageErr(fmt.Errorf("unknown analyzer %q", name))
+			}
+			picked = append(picked, a)
+		}
+		suite.Analyzers = picked
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := vet.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := suite.Run(loader, cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "json":
+		out := struct {
+			Findings []vet.Diagnostic `json:"findings"`
+			Count    int              `json:"count"`
+		}{Findings: diags, Count: len(diags)}
+		if out.Findings == nil {
+			out.Findings = []vet.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) == 0 {
+			fmt.Println("dvfsvet: ok")
+		} else {
+			fmt.Printf("dvfsvet: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func usageErr(err error) {
+	fmt.Fprintln(os.Stderr, "dvfsvet:", err)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvfsvet:", err)
+	os.Exit(2)
+}

@@ -447,6 +447,7 @@ func maskColumns(X [][]float64, schema *features.Schema, allowed map[int]bool) [
 // programmer-provided hint parameters (§3.5).
 func appendHintValues(x []float64, hints []workload.Hint, params map[string]int64) []float64 {
 	for _, h := range hints {
+		//dvfs:allow-alloc grows only past the caller-reserved vecStackDim capacity
 		x = append(x, float64(params[h.Param]))
 	}
 	return x
@@ -456,6 +457,7 @@ func appendHintValues(x []float64, hints []workload.Hint, params map[string]int6
 // listed columns (§3.5's higher-order model option).
 func appendQuadValues(x []float64, quadCols []int) []float64 {
 	for _, j := range quadCols {
+		//dvfs:allow-alloc grows only past the caller-reserved vecStackDim capacity
 		x = append(x, x[j]*x[j])
 	}
 	return x
@@ -514,18 +516,36 @@ type Prediction struct {
 // PredictTrace only reads the controller's trained state (schema,
 // models, selector), so it is safe for concurrent use from any number
 // of goroutines.
+//
+//dvfs:hotpath
 func (c *Controller) PredictTrace(tr *features.Trace, params map[string]int64, budgetSec, predictorSec float64, cur platform.Level) Prediction {
 	return c.PredictTraceSpans(tr, params, budgetSec, predictorSec, cur, nil)
 }
+
+// vecStackDim is the feature-vector capacity the decision path
+// reserves on the stack. Vectors at or under this dimension (schema
+// columns + hint columns + quadratic columns — every seed workload is
+// far below it) make a prediction with zero heap allocations, the
+// budget guarantee of ROADMAP item 2; larger schemas fall back to one
+// heap vector per call.
+const vecStackDim = 256
 
 // PredictTraceSpans is PredictTrace with per-phase span capture: the
 // model evaluation and the level selection are timed on st (which may
 // be nil — every SpanTimer method is nil-safe). Both the simulator's
 // JobStart and dvfsd's predict path run decisions through here, so
 // in-process and served decisions carry identical phase ledgers.
+//
+//dvfs:hotpath
 func (c *Controller) PredictTraceSpans(tr *features.Trace, params map[string]int64, budgetSec, predictorSec float64, cur platform.Level, st *obs.SpanTimer) Prediction {
 	st.Start(obs.PhasePredict)
-	x := appendQuadValues(appendHintValues(c.Schema.Vectorize(tr), c.hints, params), c.quadCols)
+	// The feature vector lives in a stack buffer: the whole decision —
+	// vectorize, two model evaluations, level selection, feature hash —
+	// performs zero heap allocations when the schema fits vecStackDim.
+	var buf [vecStackDim]float64
+	x := c.Schema.VectorizeInto(buf[:0], tr)
+	x = appendHintValues(x, c.hints, params)
+	x = appendQuadValues(x, c.quadCols)
 	tfmin := math.Max(0, c.ModelMin.Predict(x))
 	tfmax := math.Max(0, c.ModelMax.Predict(x))
 	if tfmin < tfmax {

@@ -96,6 +96,8 @@ type Selector struct {
 // from cur to the candidate level (no switch, no cost). When no level
 // meets the budget the maximum level is returned — the best the
 // platform can do.
+//
+//dvfs:hotpath
 func (s *Selector) Pick(cur platform.Level, tfmin, tfmax, budgetSec float64) platform.Level {
 	m := 1 + s.Margin
 	tp := Solve(tfmin*m, tfmax*m,

@@ -152,7 +152,24 @@ func (s *Schema) Dim() int { return len(s.Columns) }
 // one-hot column does not exist), mirroring a deployed predictor that
 // can only use columns it was trained with.
 func (s *Schema) Vectorize(tr *Trace) []float64 {
-	x := make([]float64, len(s.Columns))
+	return s.VectorizeInto(nil, tr)
+}
+
+// VectorizeInto is Vectorize writing into a caller-supplied buffer:
+// the decision hot path hands it a stack array and stays off the heap.
+// dst's capacity is reused when it fits (its contents are overwritten
+// in full); otherwise a fresh vector is allocated. Returns the vector
+// of length s.Dim().
+//
+//dvfs:hotpath
+func (s *Schema) VectorizeInto(dst []float64, tr *Trace) []float64 {
+	n := len(s.Columns)
+	if cap(dst) < n {
+		//dvfs:allow-alloc cold path: caller buffer smaller than the schema
+		dst = make([]float64, n)
+	}
+	x := dst[:n]
+	clear(x)
 	for fid, v := range tr.Counts {
 		if idx, ok := s.counterIdx[fid]; ok {
 			x[idx] = float64(v)

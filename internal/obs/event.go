@@ -17,10 +17,7 @@
 // tier alike.
 package obs
 
-import (
-	"hash/fnv"
-	"math"
-)
+import "math"
 
 // DecisionEvent is one controller decision and, once the job has run,
 // its outcome. Events are immutable after emission; every field is
@@ -117,18 +114,28 @@ func (e *DecisionEvent) UnderPredicted() bool {
 	return e.Done && e.Predicted && e.ResidualSec > 0
 }
 
+// FNV-1a parameters (FNV-0 offset basis hashed over "chongo <Landon
+// Curt Noll> /\\../\\", and the 64-bit FNV prime).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 // FeatureHash hashes a feature vector with FNV-1a over the IEEE-754
-// bits of each value. The same vector always hashes the same way, so
-// equal-input decisions can be correlated across runs and tiers.
+// bits of each value (little-endian, identical to hash/fnv fed the
+// same bytes — but inlined, so it stays off the heap). The same vector
+// always hashes the same way, so equal-input decisions can be
+// correlated across runs and tiers.
+//
+//dvfs:hotpath
 func FeatureHash(x []float64) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
+	h := fnvOffset64
 	for _, v := range x {
 		bits := math.Float64bits(v)
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(bits >> (8 * i))
+		for i := 0; i < 64; i += 8 {
+			h ^= uint64(bits>>i) & 0xff
+			h *= fnvPrime64
 		}
-		h.Write(buf[:])
 	}
-	return h.Sum64()
+	return h
 }

@@ -58,6 +58,8 @@ func (r *Ring) Dropped() uint64 {
 }
 
 // Put publishes a copy of e and returns its assigned sequence number.
+//
+//dvfs:noblock
 func (r *Ring) Put(e DecisionEvent) uint64 {
 	seq := r.pos.Add(1) - 1
 	e.Seq = seq

@@ -93,6 +93,8 @@ func (t *SpanTimer) mark() float64 { return time.Since(t.t0).Seconds() }
 // begins at the previous boundary — no clock is read, which is exact
 // when phases are contiguous (the intended use) and off by the
 // inter-call gap otherwise.
+//
+//dvfs:hotpath
 func (t *SpanTimer) Start(name string) {
 	if t == nil {
 		return
@@ -112,6 +114,8 @@ func (t *SpanTimer) startAt(name string, at float64) {
 }
 
 // End closes the innermost open phase at the current instant.
+//
+//dvfs:hotpath
 func (t *SpanTimer) End() {
 	if t == nil {
 		return
@@ -135,6 +139,8 @@ func (t *SpanTimer) endAt(at float64) {
 
 // Next closes the innermost open phase and opens a sibling at the same
 // instant — one clock read covers both boundaries.
+//
+//dvfs:hotpath
 func (t *SpanTimer) Next(name string) {
 	if t == nil {
 		return

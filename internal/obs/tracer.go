@@ -83,19 +83,28 @@ func (p *Pending) End(actualExecSec float64, missed bool) {
 	p.t.publish(&p.E)
 }
 
+// publish fans one event out to the ring, the sinks, and the
+// monitors. It runs inline with the controller's decision, so it must
+// never wait on a consumer.
+//
+//dvfs:noblock
 func (t *Tracer) publish(e *DecisionEvent) {
 	e.Seq = t.ring.Put(*e)
 	t.emitted.Add(1)
 	for _, s := range t.sinks {
+		//dvfs:allow-block Sink contract: Emit implementations shed load instead of waiting (Broadcaster is checked directly; file sinks are opt-in offline tooling)
 		s.Emit(e)
 	}
 	if t.drift != nil && e.Done && e.Predicted {
+		//dvfs:allow-block drift window update under a short private mutex; no I/O or channel ops inside
 		t.drift.Observe(e.Workload, e.ResidualSec)
 	}
 	if t.slo != nil && e.Done {
+		//dvfs:allow-block burn-rate window update under a short private mutex; no I/O or channel ops inside
 		t.slo.Observe(e.Workload, e.Missed)
 	}
 	if t.onEmit != nil {
+		//dvfs:allow-block registry hook: dvfsd installs an atomic counter bump here
 		t.onEmit(e)
 	}
 }

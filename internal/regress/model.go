@@ -14,7 +14,10 @@ type Model struct {
 	Coef []float64
 }
 
-// Predict evaluates the model on a raw feature vector.
+// Predict evaluates the model on a raw feature vector. It sits on the
+// per-decision path, so it must stay allocation-free.
+//
+//dvfs:hotpath
 func (m *Model) Predict(x []float64) float64 {
 	return m.Intercept + Dot(m.Coef, x)
 }

@@ -393,12 +393,19 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 // wire-encoded trace. st carries the request's span ledger when the
 // caller already opened one (handlePredict times the ingest phase);
 // batch jobs pass nil and get a fresh per-job ledger.
+//
+// The serve decision path never blocks: the HTTP layer above it may
+// wait on the network, but from registry lookup through the emitted
+// decision event everything sheds load instead of waiting.
+//
+//dvfs:noblock
 func (s *Server) predictOne(model string, job PredictJob, st *obs.SpanTimer) (PredictResponse, error) {
 	if st == nil && s.tracer != nil {
 		st = s.spans.Timer()
 		st.Start(obs.PhaseServe)
 	}
 	st.Start(obs.PhaseLookup)
+	//dvfs:allow-block model-table read lock: writers hold it only for a map store when a build finishes
 	ctl, err := s.reg.Get(model)
 	if err != nil {
 		return PredictResponse{}, err
@@ -425,6 +432,7 @@ func (s *Server) predictOne(model string, job PredictJob, st *obs.SpanTimer) (Pr
 		return PredictResponse{}, fmt.Errorf("serve: negative budget or predictor cost")
 	}
 	p := ctl.PredictTraceSpans(tr, job.Params, budget, job.PredictorSec, cur, st)
+	//dvfs:allow-block per-model metrics update under a short private mutex; no I/O or channel ops inside
 	s.metrics.ObserveDecision(model, p.Target.Index)
 	if s.tracer != nil {
 		// One-shot: the job executes on the client, so the event is

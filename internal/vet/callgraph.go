@@ -1,0 +1,209 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Call is one call site inside a function body.
+type Call struct {
+	// Callee is the statically resolved target, nil for dynamic calls
+	// (interface methods, function values, method values).
+	Callee *types.Func
+	// Pos is the call expression's position.
+	Pos token.Pos
+	// Dynamic marks calls whose target cannot be resolved statically.
+	Dynamic bool
+	// Desc names the call for diagnostics ("fmt.Sprintf", "f.Match").
+	Desc string
+}
+
+// FuncInfo is one function in the call graph.
+type FuncInfo struct {
+	Obj   *types.Func
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	Calls []Call
+}
+
+// CallGraph holds the static call graph of the loaded packages.
+// Function literals are not graph nodes: their bodies belong to no
+// function, so invariants marked on the enclosing function do not leak
+// into goroutines or callbacks defined inside it.
+type CallGraph struct {
+	Fset  *token.FileSet
+	Funcs map[*types.Func]*FuncInfo
+}
+
+// BuildCallGraph walks every function body in pkgs and records its
+// static call sites.
+func BuildCallGraph(fset *token.FileSet, pkgs []*Package) *CallGraph {
+	g := &CallGraph{Fset: fset, Funcs: map[*types.Func]*FuncInfo{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+				walkFuncBody(fd.Body, func(n ast.Node) {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if c, ok := resolveCall(pkg.Info, call); ok {
+							fi.Calls = append(fi.Calls, c)
+						}
+					}
+				})
+				g.Funcs[obj] = fi
+			}
+		}
+	}
+	return g
+}
+
+// walkFuncBody visits every node of a function body except the
+// interiors of nested function literals.
+func walkFuncBody(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// resolveCall classifies a call expression. Builtins and type
+// conversions are not calls in the graph sense and return ok=false.
+func resolveCall(info *types.Info, call *ast.CallExpr) (Call, bool) {
+	// Type conversion?
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return Call{}, false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Builtin:
+			return Call{}, false
+		case *types.Func:
+			return Call{Callee: obj, Pos: call.Pos(), Desc: obj.Name()}, true
+		case nil:
+			return Call{}, false
+		default:
+			// Variable of function type: dynamic.
+			return Call{Pos: call.Pos(), Dynamic: true, Desc: fun.Name}, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			// Method call. Interface methods are dynamic.
+			if f, ok := sel.Obj().(*types.Func); ok {
+				if isInterfaceMethod(sel) {
+					return Call{Pos: call.Pos(), Dynamic: true, Desc: exprString(fun)}, true
+				}
+				return Call{Callee: f, Pos: call.Pos(), Desc: exprString(fun)}, true
+			}
+			// Field of function type: dynamic.
+			return Call{Pos: call.Pos(), Dynamic: true, Desc: exprString(fun)}, true
+		}
+		// Qualified identifier pkg.Fn.
+		switch obj := info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return Call{Callee: obj, Pos: call.Pos(), Desc: exprString(fun)}, true
+		case *types.Builtin, nil:
+			return Call{}, false
+		default:
+			return Call{Pos: call.Pos(), Dynamic: true, Desc: exprString(fun)}, true
+		}
+	default:
+		// Call of a function literal or arbitrary expression: the
+		// literal's body is walked in place, so skip the edge.
+		if _, ok := fun.(*ast.FuncLit); ok {
+			return Call{}, false
+		}
+		return Call{Pos: call.Pos(), Dynamic: true, Desc: "indirect call"}, true
+	}
+}
+
+func isInterfaceMethod(sel *types.Selection) bool {
+	recv := sel.Recv()
+	if recv == nil {
+		return false
+	}
+	return types.IsInterface(recv.Underlying())
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expr"
+	}
+}
+
+// Reached records how a function became subject to an invariant.
+type Reached struct {
+	// Root is the marked function the invariant propagated from.
+	Root *types.Func
+	// Via is the call site through which this function was reached
+	// (zero for the root itself).
+	Via token.Pos
+}
+
+// Reach propagates an invariant from the marked roots through static
+// call edges. skipEdge, if non-nil, exempts individual call sites
+// (e.g. ones carrying an allow directive: allowing a call vouches for
+// the whole callee). Only module-local functions with bodies are
+// traversed; calls into packages outside the graph are leaves that the
+// analyzers judge by name.
+func (g *CallGraph) Reach(roots []*types.Func, skipEdge func(Call) bool) map[*types.Func]Reached {
+	reached := map[*types.Func]Reached{}
+	var queue []*types.Func
+	for _, r := range roots {
+		if _, ok := reached[r]; !ok {
+			reached[r] = Reached{Root: r}
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fi := g.Funcs[fn]
+		if fi == nil {
+			continue
+		}
+		root := reached[fn].Root
+		for _, c := range fi.Calls {
+			if c.Callee == nil {
+				continue
+			}
+			if skipEdge != nil && skipEdge(c) {
+				continue
+			}
+			if _, ok := reached[c.Callee]; ok {
+				continue
+			}
+			if g.Funcs[c.Callee] == nil {
+				continue // outside the module: judged at the call site
+			}
+			reached[c.Callee] = Reached{Root: root, Via: c.Pos}
+			queue = append(queue, c.Callee)
+		}
+	}
+	return reached
+}

@@ -1,0 +1,95 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClockDiscipline flags wall-clock arithmetic that breaks replay
+// determinism: the counterfactual replay engine reconstructs decision
+// timelines from recorded monotonic offsets, so traced code must
+// measure durations with time.Since (monotonic) rather than
+// differencing or serializing time.Now() wall readings.
+//
+//   - time.Now().Sub(x): use time.Since(x) — same result, states the
+//     monotonic intent, and survives wall-clock steps;
+//   - time.Now().Unix()/UnixNano()/...: wall-clock epoch arithmetic
+//     is not replayable; derive offsets from a fixed base instead;
+//   - time.Now() inside //dvfs:hotpath or //dvfs:noblock functions:
+//     hot and emit paths must carry a caller-supplied base and use
+//     time.Since so replay can substitute a virtual clock.
+//
+// Waive with //dvfs:allow-wallclock <reason> (e.g. stamping a log
+// header that is never replayed).
+var ClockDiscipline = &Analyzer{
+	Name:  "clockdiscipline",
+	Doc:   "forbid wall-clock arithmetic where monotonic time is required",
+	Allow: AllowWallclock,
+	Run:   runClockDiscipline,
+}
+
+func runClockDiscipline(p *Pass) {
+	// Functions under a hotpath/noblock contract: time.Now itself is
+	// suspect there (replay substitutes a virtual clock).
+	marked := map[*types.Func]bool{}
+	for _, mark := range []string{MarkHotPath, MarkNoBlock} {
+		for fn := range p.Graph.Reach(p.Dirs.MarkedFuncs(mark), nil) {
+			marked[fn] = true
+		}
+	}
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				checkClock(p, pkg.Info, fd, marked[fn])
+			}
+		}
+	}
+}
+
+func checkClock(p *Pass, info *types.Info, fd *ast.FuncDecl, inMarked bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Chained methods on a time.Now() result.
+		recvCall, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+		if ok && isTimeNow(info, recvCall) {
+			switch sel.Sel.Name {
+			case "Sub":
+				p.Reportf(call.Pos(), "clock-now-sub",
+					"time.Now().Sub(x) loses monotonic intent; use time.Since(x)")
+				return true
+			case "Unix", "UnixNano", "UnixMilli", "UnixMicro":
+				p.Reportf(call.Pos(), "clock-wall-arith",
+					"time.Now().%s() is wall-clock arithmetic and is not replayable; derive offsets from a fixed base",
+					sel.Sel.Name)
+				return true
+			}
+		}
+		if inMarked && isTimeNow(info, call) {
+			p.Reportf(call.Pos(), "clock-now-in-hotpath",
+				"time.Now in a hotpath/noblock function; take a base from the caller and use time.Since")
+		}
+		return true
+	})
+}
+
+// isTimeNow reports whether call is exactly time.Now().
+func isTimeNow(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.FullName() == "time.Now"
+}

@@ -1,0 +1,237 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// allocPkgs are standard-library packages whose exported functions
+// allocate (or may allocate) on essentially every call. Calls into
+// them from a hot path are findings wholesale; anything cheap enough
+// to belong on a hot path has a hand-rolled equivalent.
+var allocPkgs = map[string]bool{
+	"fmt": true, "log": true, "log/slog": true, "errors": true,
+	"encoding/json": true, "strings": true, "strconv": true,
+	"bytes": true, "sort": true, "os": true, "io": true, "bufio": true,
+}
+
+// HotPathAlloc flags heap allocations in functions marked
+// //dvfs:hotpath and in everything they transitively call inside the
+// module. An //dvfs:allow-alloc on a call site vouches for the callee
+// and stops propagation through that edge.
+var HotPathAlloc = &Analyzer{
+	Name:  "hotpathalloc",
+	Doc:   "forbid heap allocations in //dvfs:hotpath functions",
+	Allow: AllowAlloc,
+	Run:   runHotPathAlloc,
+}
+
+func runHotPathAlloc(p *Pass) {
+	roots := p.Dirs.MarkedFuncs(MarkHotPath)
+	reached := p.Graph.Reach(roots, func(c Call) bool {
+		return p.Dirs.Allowed(c.Pos, AllowAlloc)
+	})
+	for fn, how := range reached {
+		fi := p.Graph.Funcs[fn]
+		if fi == nil {
+			continue
+		}
+		where := ""
+		if how.Root != fn {
+			where = " (hot path via " + FuncName(how.Root) + ")"
+		}
+		checkAllocFree(p, fi, where)
+	}
+}
+
+func checkAllocFree(p *Pass, fi *FuncInfo, where string) {
+	info := fi.Pkg.Info
+	declPos := fi.Decl.Pos()
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capturesLocals(info, fi.Pkg.Types, n, declPos) {
+				p.Reportf(n.Pos(), "alloc-closure",
+					"closure captures variables and allocates%s", where)
+			}
+			return false // interior runs outside the hot path contract
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "alloc-go", "go statement allocates a goroutine%s", where)
+		case *ast.CallExpr:
+			checkAllocCall(p, info, n, where)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(info, n) {
+				p.Reportf(n.Pos(), "alloc-string-concat",
+					"string concatenation allocates%s", where)
+			}
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(n.Pos(), "alloc-composite", "slice literal allocates%s", where)
+			case *types.Map:
+				p.Reportf(n.Pos(), "alloc-composite", "map literal allocates%s", where)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "alloc-composite",
+						"address of composite literal escapes to the heap%s", where)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, ok := info.Types[ix.X].Type.Underlying().(*types.Map); ok {
+						p.Reportf(lhs.Pos(), "alloc-map-write",
+							"map write may allocate%s", where)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkAllocCall(p *Pass, info *types.Info, call *ast.CallExpr, where string) {
+	// Conversions: string <-> []byte/[]rune copy and allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.Types[call.Args[0]].Type
+		if src != nil && isStringBytesConv(dst, src) {
+			p.Reportf(call.Pos(), "alloc-conversion",
+				"%s conversion allocates%s", types.TypeString(dst, nil), where)
+		}
+		return
+	}
+	c, ok := resolveCall(info, call)
+	if !ok {
+		// Builtin: make, new, and growing append allocate.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "make", "new":
+					p.Reportf(call.Pos(), "alloc-make", "%s allocates%s", b.Name(), where)
+				case "append":
+					p.Reportf(call.Pos(), "alloc-append",
+						"append may grow and allocate%s", where)
+				}
+			}
+		}
+		return
+	}
+	if c.Dynamic {
+		p.Reportf(call.Pos(), "alloc-dynamic-call",
+			"dynamic call %s: cannot prove allocation-free%s", c.Desc, where)
+		return
+	}
+	if pkg := c.Callee.Pkg(); pkg != nil && allocPkgs[pkg.Path()] {
+		p.Reportf(call.Pos(), "alloc-call", "call to %s.%s allocates%s",
+			pkg.Name(), c.Callee.Name(), where)
+		return
+	}
+	checkBoxing(p, info, call, where)
+}
+
+// checkBoxing flags concrete arguments passed to interface parameters:
+// the conversion boxes the value onto the heap.
+func checkBoxing(p *Pass, info *types.Info, call *ast.CallExpr, where string) {
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at.Underlying()) || isUntypedNil(info, arg) {
+			continue
+		}
+		p.Reportf(arg.Pos(), "alloc-box",
+			"argument boxes %s into interface %s%s", at, pt, where)
+	}
+}
+
+func isNonConstString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringBytesConv(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// capturesLocals reports whether lit references variables declared in
+// its enclosing function (closure capture forces a heap allocation;
+// non-capturing literals compile to static functions).
+func capturesLocals(info *types.Info, pkg *types.Package, lit *ast.FuncLit, declPos token.Pos) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == pkg.Scope() || v.Parent() == nil {
+			return true // package-level or field
+		}
+		if v.Pos() >= declPos && v.Pos() < lit.Pos() {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+// pkgPathPrefix reports whether path is pkg or a subpackage of it.
+func pkgPathPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}

@@ -1,0 +1,426 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// LockDiscipline checks every function in the module, no annotation
+// required:
+//
+//   - no channel operation, time.Sleep, or WaitGroup.Wait while a
+//     sync.Mutex/RWMutex is held (sends/receives under a select with
+//     default are fine — they shed instead of block; sync.Cond.Wait is
+//     exempt because it releases the lock);
+//   - no reacquiring a lock already held, directly or through a callee
+//     (self-deadlock);
+//   - a consistent acquisition order: if one code path takes A then B
+//     and another takes B then A, both sites are flagged.
+//
+// Lock identity is the lock variable's object (a struct field shared
+// by all instances of the type, or a package-level var), so the order
+// check spans serve.Registry and the obs types.
+var LockDiscipline = &Analyzer{
+	Name:  "lockdiscipline",
+	Doc:   "forbid blocking while holding locks; enforce lock order",
+	Allow: AllowLock,
+	Run:   runLockDiscipline,
+}
+
+const (
+	opNone = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies e as a Lock/RLock or Unlock/RUnlock call and
+// returns the lock variable's object as its identity.
+func lockOp(info *types.Info, e ast.Expr) (types.Object, int, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, opNone, false
+	}
+	c, ok := resolveCall(info, call)
+	if !ok || c.Dynamic || c.Callee == nil {
+		return nil, opNone, false
+	}
+	var op int
+	switch c.Callee.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		op = opLock
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		op = opUnlock
+	default:
+		return nil, opNone, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, opNone, false
+	}
+	obj := lockIdent(info, sel.X)
+	if obj == nil {
+		return nil, opNone, false
+	}
+	return obj, op, true
+}
+
+// lockIdent resolves the lock receiver expression ("r.mu", "mu") to a
+// stable object: the struct field or the variable itself.
+func lockIdent(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	default:
+		return nil
+	}
+}
+
+type lockEdge struct{ from, to types.Object }
+
+type lockCtx struct {
+	pass *Pass
+	info *types.Info
+	// acquires is each module function's transitive set of locks it
+	// may take (fixpoint over static calls).
+	acquires map[*types.Func]map[types.Object]bool
+	// edges records the first site where `to` was acquired while
+	// holding `from`.
+	edges map[lockEdge]token.Pos
+	// names gives each lock object a printable name.
+	names map[types.Object]string
+}
+
+func runLockDiscipline(p *Pass) {
+	ctx := &lockCtx{
+		pass:     p,
+		acquires: map[*types.Func]map[types.Object]bool{},
+		edges:    map[lockEdge]token.Pos{},
+		names:    map[types.Object]string{},
+	}
+	// Pass 1: direct acquisition summaries.
+	for fn, fi := range p.Graph.Funcs {
+		set := map[types.Object]bool{}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if obj, op, ok := lockOp(fi.Pkg.Info, es.X); ok && op == opLock {
+					set[obj] = true
+					ctx.nameLock(obj)
+				}
+			}
+			return true
+		})
+		ctx.acquires[fn] = set
+	}
+	// Pass 2: propagate through static calls to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for fn, fi := range p.Graph.Funcs {
+			set := ctx.acquires[fn]
+			for _, c := range fi.Calls {
+				if c.Callee == nil {
+					continue
+				}
+				for obj := range ctx.acquires[c.Callee] {
+					if !set[obj] {
+						set[obj] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Pass 3: per-function held-lock scan.
+	fns := make([]*types.Func, 0, len(p.Graph.Funcs))
+	for fn := range p.Graph.Funcs {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		fi := p.Graph.Funcs[fn]
+		ctx.info = fi.Pkg.Info
+		held := map[types.Object]token.Pos{}
+		ctx.scanStmts(fi.Decl.Body.List, held)
+	}
+	// Pass 4: conflicting order edges.
+	type conflict struct{ a, b lockEdge }
+	var conflicts []conflict
+	for e := range ctx.edges {
+		rev := lockEdge{e.to, e.from}
+		if e.from == e.to {
+			continue
+		}
+		if _, ok := ctx.edges[rev]; ok && lockEdgeLess(e, rev) {
+			conflicts = append(conflicts, conflict{e, rev})
+		}
+	}
+	sort.Slice(conflicts, func(i, j int) bool {
+		return ctx.edges[conflicts[i].a] < ctx.edges[conflicts[j].a]
+	})
+	for _, c := range conflicts {
+		p.Reportf(ctx.edges[c.a], "lock-order",
+			"inconsistent lock order: %s acquired while holding %s, but the opposite order exists at %s",
+			ctx.names[c.a.to], ctx.names[c.a.from], p.Fset.Position(ctx.edges[c.b]))
+		p.Reportf(ctx.edges[c.b], "lock-order",
+			"inconsistent lock order: %s acquired while holding %s, but the opposite order exists at %s",
+			ctx.names[c.b.to], ctx.names[c.b.from], p.Fset.Position(ctx.edges[c.a]))
+	}
+}
+
+func lockEdgeLess(a, b lockEdge) bool {
+	if a.from.Pos() != b.from.Pos() {
+		return a.from.Pos() < b.from.Pos()
+	}
+	return a.to.Pos() < b.to.Pos()
+}
+
+func (ctx *lockCtx) nameLock(obj types.Object) {
+	if _, ok := ctx.names[obj]; ok {
+		return
+	}
+	name := obj.Name()
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		name = "field " + name
+	}
+	pos := ctx.pass.Fset.Position(obj.Pos())
+	ctx.names[obj] = name + " (" + shortPos(pos) + ")"
+}
+
+func shortPos(p token.Position) string {
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}
+
+// scanStmts walks a statement list tracking the held-lock set.
+// Nested control-flow bodies get a copy of the set: a conditional
+// unlock never clears the lock on the fall-through path, and a
+// conditional lock never leaks out.
+func (ctx *lockCtx) scanStmts(stmts []ast.Stmt, held map[types.Object]token.Pos) {
+	for _, s := range stmts {
+		ctx.scanStmt(s, held)
+	}
+}
+
+func cloneHeld(held map[types.Object]token.Pos) map[types.Object]token.Pos {
+	c := make(map[types.Object]token.Pos, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (ctx *lockCtx) scanStmt(stmt ast.Stmt, held map[types.Object]token.Pos) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if obj, op, ok := lockOp(ctx.info, s.X); ok {
+			switch op {
+			case opLock:
+				if _, already := held[obj]; already {
+					ctx.pass.Reportf(s.Pos(), "lock-reentrant",
+						"%s is already held; reacquiring self-deadlocks", ctx.names[obj])
+					return
+				}
+				for h := range held {
+					ctx.addEdge(h, obj, s.Pos())
+				}
+				held[obj] = s.Pos()
+			case opUnlock:
+				delete(held, obj)
+			}
+			return
+		}
+		ctx.checkExpr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			ctx.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			ctx.checkExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			ctx.checkExpr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ctx.scanStmt(s.Init, held)
+		}
+		ctx.checkExpr(s.Cond, held)
+		ctx.scanStmts(s.Body.List, cloneHeld(held))
+		if s.Else != nil {
+			ctx.scanStmt(s.Else, cloneHeld(held))
+		}
+	case *ast.BlockStmt:
+		ctx.scanStmts(s.List, held)
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			ctx.checkExpr(s.Cond, held)
+		}
+		ctx.scanStmts(s.Body.List, cloneHeld(held))
+	case *ast.RangeStmt:
+		if _, ok := ctx.info.Types[s.X].Type.Underlying().(*types.Chan); ok && len(held) > 0 {
+			obj, pos := anyHeld(held)
+			ctx.pass.Reportf(s.Pos(), "lock-held-block",
+				"range over channel while holding %s (locked at %s)",
+				ctx.names[obj], shortPos(ctx.pass.Fset.Position(pos)))
+		}
+		ctx.checkExpr(s.X, held)
+		ctx.scanStmts(s.Body.List, cloneHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			ctx.scanStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			ctx.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ctx.scanStmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ctx.scanStmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		def := hasDefaultClause(s)
+		if !def && len(held) > 0 {
+			obj, pos := anyHeld(held)
+			ctx.pass.Reportf(s.Pos(), "lock-held-block",
+				"select without default while holding %s (locked at %s)",
+				ctx.names[obj], shortPos(ctx.pass.Fset.Position(pos)))
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				ctx.scanStmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			obj, pos := anyHeld(held)
+			ctx.pass.Reportf(s.Pos(), "lock-held-block",
+				"channel send while holding %s (locked at %s); use select with default",
+				ctx.names[obj], shortPos(ctx.pass.Fset.Position(pos)))
+		}
+	case *ast.GoStmt, *ast.DeferStmt:
+		// A new goroutine starts with nothing held; a deferred unlock
+		// keeps the lock held to the end, which the copy semantics
+		// already model.
+	case *ast.DeclStmt:
+		// const/var decls: check initializers.
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						ctx.checkExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		ctx.scanStmt(s.Stmt, held)
+	case *ast.IncDecStmt:
+		ctx.checkExpr(s.X, held)
+	}
+}
+
+func anyHeld(held map[types.Object]token.Pos) (types.Object, token.Pos) {
+	var best types.Object
+	var bestPos token.Pos
+	for obj, pos := range held {
+		if best == nil || pos < bestPos {
+			best, bestPos = obj, pos
+		}
+	}
+	return best, bestPos
+}
+
+// checkExpr flags blocking operations and lock-summary violations in
+// an expression evaluated while locks are held.
+func (ctx *lockCtx) checkExpr(e ast.Expr, held map[types.Object]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				obj, pos := anyHeld(held)
+				ctx.pass.Reportf(n.Pos(), "lock-held-block",
+					"channel receive while holding %s (locked at %s)",
+					ctx.names[obj], shortPos(ctx.pass.Fset.Position(pos)))
+			}
+		case *ast.CallExpr:
+			ctx.checkCallHeld(n, held)
+		}
+		return true
+	})
+}
+
+func (ctx *lockCtx) checkCallHeld(call *ast.CallExpr, held map[types.Object]token.Pos) {
+	c, ok := resolveCall(ctx.info, call)
+	if !ok || c.Dynamic || c.Callee == nil {
+		return
+	}
+	switch c.Callee.FullName() {
+	case "time.Sleep":
+		obj, pos := anyHeld(held)
+		ctx.pass.Reportf(call.Pos(), "lock-held-block",
+			"time.Sleep while holding %s (locked at %s)",
+			ctx.names[obj], shortPos(ctx.pass.Fset.Position(pos)))
+		return
+	case "(*sync.WaitGroup).Wait":
+		obj, pos := anyHeld(held)
+		ctx.pass.Reportf(call.Pos(), "lock-held-block",
+			"WaitGroup.Wait while holding %s (locked at %s)",
+			ctx.names[obj], shortPos(ctx.pass.Fset.Position(pos)))
+		return
+	case "(*sync.Cond).Wait":
+		return // releases the lock while waiting
+	}
+	// Module callee: consult its transitive lock summary.
+	summary, ok := ctx.acquires[c.Callee]
+	if !ok {
+		return
+	}
+	for obj := range summary {
+		if lockedAt, isHeld := held[obj]; isHeld {
+			ctx.pass.Reportf(call.Pos(), "lock-deadlock-risk",
+				"call to %s may reacquire %s already held (locked at %s)",
+				FuncName(c.Callee), ctx.names[obj],
+				shortPos(ctx.pass.Fset.Position(lockedAt)))
+			continue
+		}
+		for h := range held {
+			ctx.addEdge(h, obj, call.Pos())
+		}
+	}
+}
+
+func (ctx *lockCtx) addEdge(from, to types.Object, pos token.Pos) {
+	if from == to {
+		return
+	}
+	e := lockEdge{from, to}
+	if _, ok := ctx.edges[e]; !ok {
+		// Order edges respect allow-lock at the acquisition site.
+		if ctx.pass.Dirs.Allowed(pos, AllowLock) {
+			return
+		}
+		ctx.edges[e] = pos
+	}
+}

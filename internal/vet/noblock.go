@@ -1,0 +1,165 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// blockingFuncs are standard-library calls that can suspend the
+// calling goroutine.
+var blockingFuncs = map[string]string{
+	"time.Sleep":             "sleeps",
+	"(*sync.Mutex).Lock":     "blocks on contended mutex",
+	"(*sync.RWMutex).Lock":   "blocks on contended rwmutex",
+	"(*sync.RWMutex).RLock":  "blocks on contended rwmutex",
+	"(*sync.WaitGroup).Wait": "waits for a waitgroup",
+	"(*sync.Once).Do":        "blocks behind the first caller",
+	"(*sync.Cond).Wait":      "waits on a condition",
+}
+
+// ioPkgs are packages whose calls perform (potentially blocking) I/O.
+var ioPkgs = map[string]bool{"os": true, "io": true, "bufio": true, "net": true}
+
+// NoBlock flags operations that can suspend the goroutine inside
+// //dvfs:noblock functions and everything they transitively call:
+// channel sends/receives outside a select with default, selects
+// without default, lock acquisition, sleeps, and I/O. These are the
+// emit paths (obs.Ring, obs.Broadcaster) that run inline with the
+// controller's decision and must shed load rather than wait.
+var NoBlock = &Analyzer{
+	Name:  "noblock",
+	Doc:   "forbid blocking operations in //dvfs:noblock functions",
+	Allow: AllowBlock,
+	Run:   runNoBlock,
+}
+
+func runNoBlock(p *Pass) {
+	roots := p.Dirs.MarkedFuncs(MarkNoBlock)
+	reached := p.Graph.Reach(roots, func(c Call) bool {
+		return p.Dirs.Allowed(c.Pos, AllowBlock)
+	})
+	for fn, how := range reached {
+		fi := p.Graph.Funcs[fn]
+		if fi == nil {
+			continue
+		}
+		where := ""
+		if how.Root != fn {
+			where = " (noblock via " + FuncName(how.Root) + ")"
+		}
+		checkNoBlock(p, fi, where)
+	}
+}
+
+func checkNoBlock(p *Pass, fi *FuncInfo, where string) {
+	info := fi.Pkg.Info
+	exempt := selectCommSpans(fi.Decl.Body)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs on its own goroutine's terms
+		case *ast.SendStmt:
+			if !exempt.covers(n.Pos()) {
+				p.Reportf(n.Pos(), "block-send",
+					"channel send may block; use select with default%s", where)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !exempt.covers(n.Pos()) {
+				p.Reportf(n.Pos(), "block-recv",
+					"channel receive may block; use select with default%s", where)
+			}
+		case *ast.RangeStmt:
+			if _, ok := info.Types[n.X].Type.Underlying().(*types.Chan); ok {
+				p.Reportf(n.Pos(), "block-range", "range over channel blocks%s", where)
+			}
+		case *ast.SelectStmt:
+			if !hasDefaultClause(n) {
+				p.Reportf(n.Pos(), "block-select",
+					"select without default may block%s", where)
+			}
+		case *ast.CallExpr:
+			checkBlockingCall(p, info, n, where)
+		}
+		return true
+	})
+}
+
+func checkBlockingCall(p *Pass, info *types.Info, call *ast.CallExpr, where string) {
+	c, ok := resolveCall(info, call)
+	if !ok {
+		return
+	}
+	if c.Dynamic {
+		p.Reportf(call.Pos(), "block-dynamic-call",
+			"dynamic call %s: cannot prove non-blocking%s", c.Desc, where)
+		return
+	}
+	full := c.Callee.FullName()
+	if why, ok := blockingFuncs[full]; ok {
+		p.Reportf(call.Pos(), "block-call", "%s %s%s", full, why, where)
+		return
+	}
+	pkg := c.Callee.Pkg()
+	if pkg == nil {
+		return
+	}
+	path := pkg.Path()
+	switch {
+	case ioPkgs[path] || pkgPathPrefix(path, "net"):
+		p.Reportf(call.Pos(), "block-io", "call to %s.%s performs I/O%s",
+			pkg.Name(), c.Callee.Name(), where)
+	case path == "fmt" && isFmtIO(c.Callee.Name()):
+		p.Reportf(call.Pos(), "block-io", "fmt.%s performs I/O%s", c.Callee.Name(), where)
+	case path == "log" || path == "log/slog":
+		p.Reportf(call.Pos(), "block-io", "call to %s.%s logs (I/O under a lock)%s",
+			pkg.Name(), c.Callee.Name(), where)
+	}
+}
+
+func isFmtIO(name string) bool {
+	return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+		strings.HasPrefix(name, "Scan") || strings.HasPrefix(name, "Fscan")
+}
+
+func hasDefaultClause(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// posSpans is a set of position ranges.
+type posSpans []struct{ lo, hi token.Pos }
+
+func (s posSpans) covers(p token.Pos) bool {
+	for _, r := range s {
+		if r.lo <= p && p < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// selectCommSpans returns the comm-statement spans of every select:
+// a channel op behind a select is judged by the select's shape (no
+// default → one block-select finding), not flagged per arm.
+func selectCommSpans(body ast.Node) posSpans {
+	var spans posSpans
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				spans = append(spans, struct{ lo, hi token.Pos }{cc.Comm.Pos(), cc.Comm.End()})
+			}
+		}
+		return true
+	})
+	return spans
+}

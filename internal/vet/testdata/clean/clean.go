@@ -1,0 +1,44 @@
+// Package clean exercises every analyzer over disciplined code and
+// expects zero findings.
+package clean
+
+import (
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+var total float64
+
+var base = time.Now()
+
+// add locks and unlocks without blocking in between.
+func add(x float64) {
+	mu.Lock()
+	total += x
+	mu.Unlock()
+}
+
+// dot is an allocation-free hot path: arithmetic over caller-owned
+// slices.
+//
+//dvfs:hotpath
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// publish sheds instead of blocking and measures monotonically.
+//
+//dvfs:noblock
+func publish(ch chan float64) {
+	v := time.Since(base).Seconds()
+	select {
+	case ch <- v:
+	default:
+	}
+}

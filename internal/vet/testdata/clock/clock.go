@@ -1,0 +1,43 @@
+// Package clock seeds the wall-clock findings: time.Now().Sub,
+// epoch arithmetic on a fresh reading, and bare time.Now inside a
+// marked function, plus the waived and correct patterns.
+package clock
+
+import "time"
+
+// base anchors monotonic offsets; package-level initialization is
+// outside any function body and out of scope.
+var base = time.Now()
+
+var sinkDur time.Duration
+
+var sinkInt int64
+
+// durations runs with no annotation at all: the chained-call rules
+// apply module-wide.
+func durations(t0 time.Time) {
+	sinkDur = time.Now().Sub(t0)    // want "use time.Since"
+	sinkInt = time.Now().UnixNano() // want "wall-clock arithmetic"
+}
+
+// capture measures correctly and stays silent.
+//
+//dvfs:hotpath
+func capture() float64 {
+	return time.Since(base).Seconds()
+}
+
+// stamp is under an emit-path contract, where even a bare time.Now
+// is suspect: replay substitutes a virtual clock.
+//
+//dvfs:noblock
+func stamp() int64 {
+	t := time.Now() // want "time.Now in a hotpath/noblock function"
+	return t.UnixNano()
+}
+
+// logHeader waives the wall stamp: written once, never replayed.
+func logHeader() int64 {
+	//dvfs:allow-wallclock log header stamp, never replayed
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,19 @@
+// Package directives seeds malformed directive comments: unknown
+// names and marks placed outside a function's doc comment.
+package directives
+
+// frob carries a directive nobody knows.
+//
+//dvfs:frobnicate knob // want "unknown directive //dvfs:frobnicate"
+func frob() int {
+	//dvfs:hotpath // want "//dvfs:hotpath must appear in a function's doc comment"
+	return 1
+}
+
+//dvfs:allow-everything yolo // want "unknown directive //dvfs:allow-everything"
+var answer = 42
+
+// use keeps the declarations referenced.
+func use() int {
+	return frob() + answer
+}

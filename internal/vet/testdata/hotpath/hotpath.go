@@ -1,0 +1,95 @@
+// Package hotpath seeds one instance of each allocation class the
+// hotpathalloc analyzer recognizes, plus the suppression, vouching,
+// and transitive-propagation cases. Each want comment names the
+// finding the line must produce; lines without one must stay silent.
+package hotpath
+
+import "fmt"
+
+// sink consumes values so the samples type-check; plain assignments
+// are not allocation sites.
+var sink any
+
+// sinkInt consumes integers on the paths that must stay clean.
+var sinkInt int
+
+// table exercises the map-write rule.
+var table = map[string]int{}
+
+// entry is the marked root: every flagged statement below seeds
+// exactly the finding its want comment names.
+//
+//dvfs:hotpath
+func entry(n int, label string, cb func() int) {
+	s := make([]int, n)          // want "make allocates"
+	p := new(int)                // want "new allocates"
+	s = append(s, n)             // want "append may grow"
+	msg := label + "!"           // want "string concatenation allocates"
+	raw := []byte(label)         // want "conversion allocates"
+	bs := []byte(label + "?")    // want "string concatenation allocates" "conversion allocates"
+	table[label] = n             // want "map write may allocate"
+	fmt.Println(n)               // want "call to fmt.Println allocates"
+	cb()                         // want "dynamic call cb"
+	go worker(n)                 // want "go statement allocates"
+	f := func() int { return n } // want "closure captures"
+	box(n)                       // want "boxes int into interface"
+	sink = s
+	sink = p
+	sink = msg
+	sink = raw
+	sink = bs
+	sink = f
+	helper(n)
+}
+
+// helper is not marked itself: the hot-path contract reaches it
+// through entry's call, and the finding says so.
+func helper(n int) {
+	t := make([]int, n) // want "make allocates \(hot path via hotpath.entry\)"
+	sinkInt = len(t)
+}
+
+// worker runs on its own goroutine but is reached through the go
+// statement's call edge; its body must be allocation-free.
+func worker(n int) {
+	sinkInt = n
+}
+
+// box takes an interface parameter so callers box concrete arguments.
+func box(v any) {
+	sink = v
+}
+
+// vouched vouches for its callee at the call site: the allow waives
+// the edge and stops the contract from propagating through it.
+//
+//dvfs:hotpath
+func vouched() {
+	//dvfs:allow-alloc cold builder audited by hand; runs off the decision path
+	coldBuild()
+}
+
+// coldBuild allocates freely; it is only reached through the vouched
+// edge above, so nothing here is flagged.
+func coldBuild() {
+	sink = make([]int, 8)
+}
+
+// wholeAllowed carries the escape hatch on its doc comment, covering
+// the entire body.
+//
+//dvfs:hotpath
+//dvfs:allow-alloc cold-start builder, runs before the first job
+func wholeAllowed() {
+	sink = make([]int, 9)
+}
+
+// lineAllowed waives one specific line; the rest of the body stays
+// under the contract.
+//
+//dvfs:hotpath
+func lineAllowed(n int) {
+	//dvfs:allow-alloc fallback taken only when the stack buffer is too small
+	sink = make([]int, n)
+	sinkInt = n
+}

@@ -1,0 +1,111 @@
+// Package lockorder seeds the lock-discipline findings: blocking
+// while holding a lock, reacquisition (direct and through a callee),
+// and inconsistent acquisition order. No annotations are needed —
+// the analyzer covers every function.
+package lockorder
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+var cond = sync.NewCond(&muA)
+
+var sinkInt int
+
+// abOrder takes A then B; baOrder takes B then A. Both acquisition
+// sites are flagged.
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want "inconsistent lock order"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	muA.Lock() // want "inconsistent lock order"
+	muA.Unlock()
+	muB.Unlock()
+}
+
+func reentrant() {
+	muA.Lock()
+	muA.Lock() // want "already held; reacquiring self-deadlocks"
+	muA.Unlock()
+	muA.Unlock()
+}
+
+func sendWhileHeld(ch chan int) {
+	muA.Lock()
+	ch <- 1 // want "channel send while holding"
+	muA.Unlock()
+}
+
+func recvWhileHeld(ch chan int) {
+	muA.Lock()
+	defer muA.Unlock()
+	sinkInt = <-ch // want "channel receive while holding"
+}
+
+func sleepWhileHeld() {
+	muA.Lock()
+	defer muA.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding"
+}
+
+func selectNoDefaultWhileHeld(ch chan int) {
+	muA.Lock()
+	defer muA.Unlock()
+	select { // want "select without default while holding"
+	case ch <- 1:
+	case sinkInt = <-ch:
+	}
+}
+
+// okSelectDefault sheds instead of blocking: not flagged.
+func okSelectDefault(ch chan int) {
+	muA.Lock()
+	defer muA.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// okCondWait releases the lock while waiting: exempt.
+func okCondWait() {
+	muA.Lock()
+	for sinkInt == 0 {
+		cond.Wait()
+	}
+	muA.Unlock()
+}
+
+// reacquireViaCallee holds muA and calls a function whose transitive
+// summary says it takes muA again.
+func reacquireViaCallee() {
+	muA.Lock()
+	defer muA.Unlock()
+	lockA() // want "may reacquire"
+}
+
+func lockA() {
+	muA.Lock()
+	sinkInt++
+	muA.Unlock()
+}
+
+// allowedSleepWhileHeld carries a reasoned waiver on the offending
+// line, so nothing is reported.
+func allowedSleepWhileHeld() {
+	muA.Lock()
+	defer muA.Unlock()
+	//dvfs:allow-lock test fixture: the sleep is bounded and deliberate
+	time.Sleep(time.Millisecond)
+}

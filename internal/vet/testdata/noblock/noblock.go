@@ -1,0 +1,82 @@
+// Package noblock seeds the blocking operations the noblock analyzer
+// recognizes, plus the select-with-default and suppression patterns
+// that are exempt.
+package noblock
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+var wg sync.WaitGroup
+
+var sinkInt int
+
+// emit is the marked root.
+//
+//dvfs:noblock
+func emit(ch chan int, done chan struct{}) {
+	ch <- 1   // want "channel send may block"
+	v := <-ch // want "channel receive may block"
+	sinkInt = v
+	select { // want "select without default may block"
+	case w := <-ch:
+		sinkInt = w
+	case <-done:
+	}
+	select {
+	case ch <- 2:
+	default:
+	}
+	mu.Lock() // want "blocks on contended mutex"
+	mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep sleeps"
+	fmt.Println("tick")          // want "fmt.Println performs I/O"
+	os.ReadFile("x")             // want "call to os.ReadFile performs I/O"
+	wg.Wait()                    // want "waits for a waitgroup"
+	relay(ch)
+}
+
+// relay is unmarked; the contract arrives through emit's call, and
+// the finding carries the provenance.
+func relay(ch chan int) {
+	ch <- 9 // want "channel send may block.*noblock via noblock.emit"
+}
+
+// drain blocks by construction: ranging over a channel waits for the
+// producer.
+//
+//dvfs:noblock
+func drain(events chan int) {
+	for e := range events { // want "range over channel blocks"
+		sinkInt = e
+	}
+}
+
+// emitDyn cannot prove anything about a function value.
+//
+//dvfs:noblock
+func emitDyn(f func()) {
+	f() // want "dynamic call f: cannot prove non-blocking"
+}
+
+// shed carries audited waivers: drop-instead-of-wait semantics the
+// analyzer cannot see.
+//
+//dvfs:noblock
+func shed(ch chan int) {
+	//dvfs:allow-block ring has reserved capacity for this producer
+	ch <- 3
+	//dvfs:allow-block callee sheds load internally
+	blocky(ch)
+}
+
+// blocky is only reached through the vouched edge in shed, so its
+// send is not flagged.
+func blocky(ch chan int) {
+	ch <- 4
+}

@@ -1,0 +1,173 @@
+// Package vet is a self-hosted static-analysis framework for this
+// module, built only on the standard library's go/ast, go/parser,
+// go/types, and go/importer. It enforces the performance invariants
+// the paper's overhead budget depends on: annotated hot paths must not
+// allocate, emit paths must not block, locks must be used in a
+// consistent, non-blocking discipline, and traced code must use
+// monotonic time.
+//
+// Functions opt in with directive comments on their doc:
+//
+//	//dvfs:hotpath — the zero-allocation decision path
+//	//dvfs:noblock — must never block (ring/broadcast emit paths)
+//
+// Individual findings are waived with a reasoned escape hatch on (or
+// directly above) the offending line, or on a function's doc comment
+// to cover its whole body:
+//
+//	//dvfs:allow-alloc <reason>
+//	//dvfs:allow-block <reason>
+//	//dvfs:allow-lock <reason>
+//	//dvfs:allow-wallclock <reason>
+//
+// An allow on a call site also vouches for the callee: invariant
+// propagation stops at allowed edges.
+package vet
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// Diagnostic is one finding, ready for text or JSON output.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Code     string `json:"code"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Msg      string `json:"msg"`
+
+	position token.Position // set before File/Line/Col are finalized
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s/%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Code, d.Msg)
+}
+
+// Analyzer is one named check over the loaded packages.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Allow is the suppression directive kind ("allow-alloc", ...).
+	Allow string
+	Run   func(*Pass)
+}
+
+// Pass hands an analyzer everything it needs and collects findings.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Graph *CallGraph
+	Dirs  *Directives
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding unless an allow directive of the
+// analyzer's kind covers pos.
+func (p *Pass) Reportf(pos token.Pos, code, format string, args ...any) {
+	if p.analyzer.Allow != "" && p.Dirs.Allowed(pos, p.analyzer.Allow) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Code:     code,
+		Msg:      fmt.Sprintf(format, args...),
+		position: p.Fset.Position(pos),
+	})
+}
+
+// FuncName renders a function for messages: "core.PredictTraceSpans"
+// or "(*obs.Tracer).publish".
+func FuncName(fn *types.Func) string {
+	if fn == nil {
+		return "?"
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			if named, ok := ptr.Elem().(*types.Named); ok {
+				return fmt.Sprintf("(*%s.%s).%s", pkg, named.Obj().Name(), fn.Name())
+			}
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.%s.%s", pkg, named.Obj().Name(), fn.Name())
+		}
+	}
+	if pkg != "" {
+		return pkg + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// Suite runs analyzers over packages loaded by a shared Loader.
+type Suite struct {
+	Analyzers []*Analyzer
+}
+
+// DefaultSuite returns the four shipped analyzers.
+func DefaultSuite() *Suite {
+	return &Suite{Analyzers: []*Analyzer{
+		HotPathAlloc, NoBlock, LockDiscipline, ClockDiscipline,
+	}}
+}
+
+// Run loads the patterns through l, runs every analyzer, and returns
+// findings sorted by position. File paths are made relative to rel
+// when possible (pass "" to keep them absolute).
+func (s *Suite) Run(l *Loader, rel string, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunPackages(l.Fset, pkgs, rel), nil
+}
+
+// RunPackages runs every analyzer over already-loaded packages.
+func (s *Suite) RunPackages(fset *token.FileSet, pkgs []*Package, rel string) []Diagnostic {
+	dirs := CollectDirectives(fset, pkgs)
+	graph := BuildCallGraph(fset, pkgs)
+	diags := append([]Diagnostic(nil), dirs.Unknown()...)
+	for _, a := range s.Analyzers {
+		pass := &Pass{
+			Fset: fset, Pkgs: pkgs, Graph: graph, Dirs: dirs,
+			analyzer: a, diags: &diags,
+		}
+		a.Run(pass)
+	}
+	for i := range diags {
+		p := diags[i].position
+		file := p.Filename
+		if rel != "" {
+			if r, err := filepath.Rel(rel, file); err == nil && len(r) < len(file) {
+				file = r
+			}
+		}
+		diags[i].File = file
+		diags[i].Line = p.Line
+		diags[i].Col = p.Column
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,139 @@
+package vet
+
+import (
+	"regexp"
+	"sync"
+	"testing"
+)
+
+// sharedLoader type-checks the standard library from source once and
+// memoizes it across all golden tests.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	return NewLoader(".")
+})
+
+// wantRe matches a want comment: one or more quoted regexps after the
+// word "want". wantStrRe then splits the individual quoted strings;
+// backslash escapes pass through to the regexp compiler, so testdata
+// writes `\(` to match a literal paren.
+var (
+	wantRe    = regexp.MustCompile(`want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+	wantStrRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// golden loads testdata/<dir>, runs the given analyzers, and checks
+// the findings against the file's want comments: every finding must
+// match a want regexp on its line, and every want must be consumed.
+func golden(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("testdata/" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := &Suite{Analyzers: analyzers}
+	diags := suite.RunPackages(l.Fset, []*Package{pkg}, "")
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := map[lineKey][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := l.Fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				for _, q := range wantStrRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q[1], err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := lineKey{d.File, d.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Msg) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matched %q", k.file, k.line, re)
+		}
+	}
+}
+
+func TestHotPathAllocGolden(t *testing.T)    { golden(t, "hotpath", HotPathAlloc) }
+func TestNoBlockGolden(t *testing.T)         { golden(t, "noblock", NoBlock) }
+func TestLockDisciplineGolden(t *testing.T)  { golden(t, "lockorder", LockDiscipline) }
+func TestClockDisciplineGolden(t *testing.T) { golden(t, "clock", ClockDiscipline) }
+
+// TestDirectivesGolden runs no analyzers at all: the unknown- and
+// misplaced-directive diagnostics come from directive collection.
+func TestDirectivesGolden(t *testing.T) { golden(t, "directives") }
+
+// TestCleanGolden runs the full suite over disciplined code and
+// expects silence.
+func TestCleanGolden(t *testing.T) {
+	golden(t, "clean", HotPathAlloc, NoBlock, LockDiscipline, ClockDiscipline)
+}
+
+// TestRepoIsVetClean is the acceptance gate: the module's own
+// annotated hot paths and emit paths must pass the default suite.
+func TestRepoIsVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := DefaultSuite().Run(l, l.ModDir(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//dvfs:hotpath", "hotpath", true},
+		{"//dvfs:allow-alloc cold path", "allow-alloc", true},
+		{"// dvfs:hotpath", "", false}, // directives have no space after //
+		{"//dvfs:", "", false},
+		{"// plain comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseDirective(c.text)
+		if name != c.name || ok != c.ok {
+			t.Errorf("parseDirective(%q) = %q, %v; want %q, %v", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}
