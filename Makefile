@@ -1,7 +1,7 @@
 # Local mirror of .github/workflows/ci.yml: `make check` runs the
 # exact gate CI enforces.
 
-.PHONY: check fmt vet build test lint alloc-gate bench serve-bench obs-bench trace-smoke replay-smoke replay-bench dash-smoke
+.PHONY: check fmt vet build test lint alloc-gate bench serve-bench obs-bench trace-smoke replay-smoke replay-bench dash-smoke fleet-smoke fleet-bench
 
 check: fmt vet build test lint alloc-gate
 
@@ -25,6 +25,7 @@ vet:
 alloc-gate:
 	go test -count=1 -run 'TestPredictTraceZeroAlloc' ./internal/core
 	go test -count=1 -run 'TestSpanCaptureZeroAlloc|TestFeatureHashZeroAlloc' ./internal/obs
+	go test -count=1 -run 'TestBinaryEncodeZeroAlloc' ./internal/trace
 
 build:
 	go build ./...
@@ -87,6 +88,63 @@ replay-bench:
 	./bin/dvfssim -workload ldecode -governor prediction -jobs 200 -seed 1 -trace /tmp/replay-bench.jsonl
 	./bin/dvfsreplay -input /tmp/replay-bench.jsonl -seed 1 -json BENCH_replay.new.json \
 		-baseline BENCH_replay.json -max-regress 5 > /dev/null
+
+# Fleet smoke: simulate a heterogeneous fleet into a binary trace,
+# prove determinism (same seed, same bytes), analyze and convert the
+# trace (binary -> jsonl -> binary must be byte-identical, and the
+# binary must stay >= 5x smaller than JSONL), run the fleet-wide
+# counterfactual margin sweep, and finish with a 100k-device
+# aggregate-only run — the scale criterion from the fleet issue.
+FLEET_SMOKE_DEVICES ?= 100000
+
+fleet-smoke:
+	go build -o bin/dvfsfleet ./cmd/dvfsfleet
+	go build -o bin/dvfstrace ./cmd/dvfstrace
+	go build -o bin/dvfsreplay ./cmd/dvfsreplay
+	./bin/dvfsfleet -devices 200 -platforms a7,x86 -workload-mix sha:3,rijndael:1 \
+		-jobs 10 -seed 42 -progress 0 -out /tmp/fleet-smoke.bin -bench /tmp/fleet-smoke-bench.json
+	./bin/dvfsfleet -devices 200 -platforms a7,x86 -workload-mix sha:3,rijndael:1 \
+		-jobs 10 -seed 42 -progress 0 -out /tmp/fleet-smoke-2.bin > /dev/null
+	cmp /tmp/fleet-smoke.bin /tmp/fleet-smoke-2.bin
+	./bin/dvfstrace -input /tmp/fleet-smoke.bin > /dev/null
+	./bin/dvfstrace -input /tmp/fleet-smoke.bin -convert /tmp/fleet-smoke.jsonl
+	./bin/dvfstrace -input /tmp/fleet-smoke.jsonl -convert /tmp/fleet-smoke-back.bin -convert-format binary
+	cmp /tmp/fleet-smoke.bin /tmp/fleet-smoke-back.bin
+	@jsonl=$$(wc -c < /tmp/fleet-smoke.jsonl); bin=$$(wc -c < /tmp/fleet-smoke.bin); \
+	ratio=$$((jsonl / bin)); \
+	if [ $$ratio -lt 5 ]; then \
+		echo "fleet-smoke: binary trace only $${ratio}x smaller than JSONL ($$bin vs $$jsonl bytes, need >= 5x)"; exit 1; \
+	fi; \
+	echo "fleet-smoke: binary $$bin B vs JSONL $$jsonl B ($${ratio}x)"
+	./bin/dvfsreplay -input /tmp/fleet-smoke.bin -html /tmp/fleet-smoke.html > /tmp/fleet-smoke-replay.txt
+	grep -q 'fleet replay  200 devices' /tmp/fleet-smoke-replay.txt
+	grep -q 'Margin sweep' /tmp/fleet-smoke.html
+	./bin/dvfsfleet -devices $(FLEET_SMOKE_DEVICES) -platforms a7,x86 \
+		-workload-mix sha:3,rijndael:1 -seed 42 -progress 4
+	@echo "fleet-smoke: trace round trip, fleet replay, and $(FLEET_SMOKE_DEVICES)-device run pass"
+
+# Fleet benchmark: devices/sec throughput plus the binary-vs-JSONL
+# encoding comparison, written as BENCH_fleet.new.json and compared
+# against the committed BENCH_fleet.json baseline (fails if the
+# jsonl-to-binary ratio drops below 5 or throughput halves).
+# Regenerate the baseline by copying the fresh document.
+FLEET_BENCH_DEVICES ?= 2000
+
+fleet-bench:
+	go build -o bin/dvfsfleet ./cmd/dvfsfleet
+	./bin/dvfsfleet -devices $(FLEET_BENCH_DEVICES) -platforms a7,x86 \
+		-workload-mix sha:3,rijndael:1 -jobs 10 -seed 42 -progress 0 \
+		-out /dev/null -bench BENCH_fleet.new.json > /dev/null
+	@python3 -c "import json; \
+new = json.load(open('BENCH_fleet.new.json')); \
+base = json.load(open('BENCH_fleet.json')); \
+ratio = new['jsonl_to_binary_ratio']; \
+assert ratio >= 5, f'fleet-bench: compression ratio {ratio:.2f}x below the 5x floor'; \
+drift = new['binary_bytes_per_event'] / base['binary_bytes_per_event']; \
+assert drift <= 1.1, f'fleet-bench: binary bytes/event grew {drift:.2f}x over baseline'; \
+print(f\"fleet-bench: {new['devices_per_sec']:.0f} devices/sec, \" \
+      f\"{new['binary_bytes_per_event']:.1f} B/event binary vs \" \
+      f\"{new['jsonl_bytes_per_event']:.1f} B/event JSONL ({ratio:.2f}x)\")"
 
 # Live-telemetry smoke: boot dvfsd, drive traffic through the API,
 # then assert the embedded dashboard renders its charts and the

@@ -536,3 +536,126 @@ func TestCLIDvfsvetRejectsBadAnalyzer(t *testing.T) {
 		t.Errorf("missing analyzer error:\n%s", out)
 	}
 }
+
+// Fleet pipeline end to end: simulate a small heterogeneous fleet
+// into a binary trace, analyze and convert it with dvfstrace (the
+// round trip must be byte-identical), and run the fleet-wide
+// counterfactual margin sweep with dvfsreplay. A second fleet run
+// checks the determinism contract: same seed, same bytes.
+func TestCLIFleetPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	bin := dir + "/fleet.bin"
+	summary := dir + "/fleet.json"
+	bench := dir + "/BENCH_fleet.json"
+	fleetArgs := []string{"./cmd/dvfsfleet", "-devices", "6", "-platforms", "a7,x86",
+		"-workload-mix", "sha:1", "-jobs", "8", "-seed", "5", "-progress", "0"}
+
+	out := runCLI(t, append(fleetArgs, "-out", bin, "-summary", summary, "-bench", bench)...)
+	for _, want := range []string{"fleet   6 devices, 48 jobs", "device energy J", "platform a7", "platform x86", "trace   48 events"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet summary missing %q:\n%s", want, out)
+		}
+	}
+	benchDoc, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"devices_per_sec"`, `"binary_bytes_per_event"`, `"jsonl_to_binary_ratio"`} {
+		if !strings.Contains(string(benchDoc), want) {
+			t.Errorf("bench document missing %q:\n%s", want, benchDoc)
+		}
+	}
+
+	// Determinism: a second run with the same seed writes identical bytes.
+	bin2 := dir + "/fleet2.bin"
+	runCLI(t, append(fleetArgs, "-out", bin2)...)
+	b1, _ := os.ReadFile(bin)
+	b2, _ := os.ReadFile(bin2)
+	if !bytes.Equal(b1, b2) {
+		t.Error("fleet trace is not deterministic for a fixed seed")
+	}
+
+	// dvfstrace reads the binary trace directly and converts it.
+	out = runCLI(t, "./cmd/dvfstrace", "-input", bin)
+	if !strings.Contains(out, "events      48 ") {
+		t.Errorf("dvfstrace on binary trace:\n%s", out)
+	}
+	jsonl := dir + "/fleet.jsonl"
+	runCLI(t, "./cmd/dvfstrace", "-input", bin, "-convert", jsonl)
+	back := dir + "/back.bin"
+	runCLI(t, "./cmd/dvfstrace", "-input", jsonl, "-convert", back, "-convert-format", "binary")
+	b3, _ := os.ReadFile(back)
+	if !bytes.Equal(b1, b3) {
+		t.Error("binary -> jsonl -> binary conversion is not byte-identical")
+	}
+
+	// The -device filter slices one device out of the fleet trace.
+	out = runCLI(t, "./cmd/dvfstrace", "-input", bin, "-device", "dev-0000003")
+	if !strings.Contains(out, "events      8 ") {
+		t.Errorf("-device filter should keep 8 events:\n%s", out)
+	}
+
+	// Fleet replay: auto-detected from the device IDs, margin sweep and
+	// per-platform breakdown in the report.
+	html := dir + "/fleet.html"
+	out = runCLI(t, "./cmd/dvfsreplay", "-input", bin, "-html", html)
+	for _, want := range []string{"fleet replay  6 devices", "margin", "platform a7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet replay output missing %q:\n%s", want, out)
+		}
+	}
+	page, err := os.ReadFile(html)
+	if err != nil || !strings.Contains(string(page), "Margin sweep") {
+		t.Errorf("fleet HTML report missing or sweepless: %v", err)
+	}
+
+	// -device drops to the single-device engine on the same trace.
+	out = runCLI(t, "./cmd/dvfsreplay", "-input", bin, "-device", "dev-0000003")
+	if !strings.Contains(out, "sha / prediction") || strings.Contains(out, "fleet replay") {
+		t.Errorf("single-device replay via -device:\n%s", out)
+	}
+}
+
+// dvfsfleet and the fleet paths of dvfsreplay reject bad usage with
+// exit 2 and a usage message.
+func TestCLIDvfsfleetRejectsBadUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad devices", []string{"./cmd/dvfsfleet", "-devices", "0"}, "-devices must be positive"},
+		{"bad mix", []string{"./cmd/dvfsfleet", "-workload-mix", "sha:zero"}, "workload mix"},
+		{"unknown mix workload", []string{"./cmd/dvfsfleet", "-workload-mix", "nope:1"}, "unknown benchmark"},
+		{"bad fleet mode", []string{"./cmd/dvfsreplay", "-input", "x", "-fleet", "maybe"}, "unknown -fleet mode"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			out := failCLI(t, tc.args...)
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+// -check and -baseline are single-device contracts; a fleet trace
+// must be rejected rather than silently mis-analyzed.
+func TestCLIDvfsreplayChecksAreSingleDevice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	bin := dir + "/fleet.bin"
+	runCLI(t, "./cmd/dvfsfleet", "-devices", "2", "-jobs", "4", "-seed", "3", "-progress", "0", "-out", bin)
+	out := failCLI(t, "./cmd/dvfsreplay", "-input", bin, "-check")
+	if !strings.Contains(out, "single-device") {
+		t.Errorf("missing single-device error:\n%s", out)
+	}
+}

@@ -9,12 +9,21 @@
 // phases — slice eval, model predict, level select — alongside the
 // static estimate the energy reconstruction charges.
 //
+// Fleet traces (dvfsfleet -out, binary or exported JSONL) replay
+// device by device: each device's events reconstruct against its own
+// platform, and the margin sweep aggregates into fleet distributions
+// (p50/p95/p99 per-device energy delta, fleet miss rate, per-platform
+// breakdown). -fleet auto (the default) selects fleet mode when the
+// trace carries device IDs; -device replays one device single-mode.
+//
 // Usage:
 //
 //	dvfssim -workload ldecode -governor prediction -trace - | dvfsreplay -html report.html
 //	dvfsreplay -input dec.jsonl -platform a7 -format json
 //	dvfsreplay -input dec.jsonl -json BENCH_replay.json -baseline BENCH_replay.json -max-regress 5
 //	dvfsreplay -input dec.jsonl -check
+//	dvfsreplay -input fleet.bin -html fleet.html          # fleet margin sweep
+//	dvfsreplay -input fleet.bin -device dev-0000003 -fleet off
 //
 // -baseline compares against a committed BENCH_replay.json and exits
 // 1 when energy regresses more than -max-regress percent (or a miss
@@ -36,10 +45,12 @@ import (
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/replay"
+	"repro/internal/trace"
 )
 
 func main() {
-	input := flag.String("input", "-", "JSONL decision log to replay (- for stdin)")
+	input := flag.String("input", "-", "decision log to replay, JSONL or binary (- for stdin)")
+	fleetMode := flag.String("fleet", "auto", "fleet replay: auto (fleet when the trace carries device IDs), on, off")
 	platName := flag.String("platform", "a7", "platform the trace was recorded on: a7, x86, biglittle")
 	seed := flag.Int64("seed", 1, "seed for counterfactual switch-latency jitter (same seed → bit-identical output)")
 	rho := flag.Float64("rho", 0, "fallback memory-time fraction for cross-frequency time translation (0 → 0.3; predicted jobs estimate it from the trace)")
@@ -73,6 +84,9 @@ func main() {
 	if *maxRegress <= 0 {
 		usageErr(fmt.Errorf("-max-regress must be positive"))
 	}
+	if *fleetMode != "auto" && *fleetMode != "on" && *fleetMode != "off" {
+		usageErr(fmt.Errorf("unknown -fleet mode %q (use auto, on, or off)", *fleetMode))
+	}
 	plat, err := platform.ByName(*platName)
 	if err != nil {
 		usageErr(err)
@@ -91,11 +105,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dvfsreplay:", err)
 		os.Exit(1)
 	}
-	events, err := obs.ReadJSONL(rd)
+	events, err := trace.ReadEvents(rd)
 	if err != nil {
 		fail(err)
 	}
 	events = filter.Apply(events)
+
+	isFleet := *fleetMode == "on"
+	if *fleetMode == "auto" && filter.Device == "" {
+		for i := range events {
+			if events[i].Device != "" {
+				isFleet = true
+				break
+			}
+		}
+	}
+	if isFleet {
+		if *baseline != "" || *check {
+			usageErr(fmt.Errorf("-baseline and -check are single-device modes; use -device to select one device or -fleet off"))
+		}
+		runFleet(events, replay.FleetOptions{
+			Plat:        plat,
+			Seed:        *seed,
+			Rho:         *rho,
+			TracedAlpha: *alpha,
+		}, *format, *jsonOut, *htmlOut, fail)
+		return
+	}
 	res, err := replay.Run(events, replay.Options{
 		Plat:        plat,
 		Seed:        *seed,
@@ -183,4 +219,46 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// runFleet renders a fleet-wide replay to stdout and the optional
+// json/html files, then exits via the shared failure path on error.
+func runFleet(events []obs.DecisionEvent, opts replay.FleetOptions, format, jsonOut, htmlOut string, fail func(error)) {
+	res, err := replay.RunFleet(events, opts)
+	if err != nil {
+		fail(err)
+	}
+	if format == "json" {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+	} else {
+		res.WriteText(os.Stdout)
+	}
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.WriteJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if htmlOut != "" {
+		f, err := os.Create(htmlOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.WriteHTML(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
 }

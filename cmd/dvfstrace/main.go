@@ -1,6 +1,6 @@
-// Command dvfstrace analyzes a JSONL decision log (written by
-// dvfssim -trace or dvfsd -trace) and reports what the paper's
-// evaluation cares about: deadline-miss rate, signed-residual
+// Command dvfstrace analyzes a decision log (written by dvfssim
+// -trace, dvfsd -trace, or dvfsfleet -out) and reports what the
+// paper's evaluation cares about: deadline-miss rate, signed-residual
 // quantiles (positive residual = under-prediction, the α-penalized
 // direction of §3.3), margin attribution (where the budget went:
 // predictor, switch estimate, margin), and per-level occupancy.
@@ -8,13 +8,24 @@
 // Usage:
 //
 //	dvfstrace -input dec.jsonl [-format text|json]
-//	          [-workload w] [-since sec] [-last n]
+//	          [-workload w] [-device id] [-since sec] [-last n]
+//	dvfstrace -input fleet.bin -convert out.jsonl [-convert-format jsonl|binary]
 //	dvfstrace -follow http://127.0.0.1:8090/v1/events
 //	          [-follow-max n] [-follow-every n] [filter flags]
 //
 // -input - reads the log from stdin, so it composes with
-// `dvfssim -trace -`. The filter flags slice large production logs
-// without external tooling and are shared verbatim with dvfsreplay.
+// `dvfssim -trace -`. Both trace encodings are accepted
+// transparently — the JSONL lines dvfssim/dvfsd write and the
+// length-prefixed binary container dvfsfleet writes (sniffed by
+// magic). The filter flags slice large production logs without
+// external tooling and are shared verbatim with dvfsreplay; -device
+// keeps one fleet device's events.
+//
+// -convert re-encodes the (filtered) input to -convert-format and
+// writes it to the given path ("-" for stdout) instead of analyzing:
+// `dvfstrace -input fleet.bin -convert fleet.jsonl` is the JSONL
+// export path for binary fleet traces, and `-convert-format binary`
+// packs a JSONL log into the compact container.
 //
 // -follow tails a live dvfsd decision stream (Server-Sent Events)
 // instead of reading a file: the filter flags become query parameters
@@ -38,6 +49,7 @@ import (
 	"syscall"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // followWindow bounds the events retained while tailing a live
@@ -46,7 +58,9 @@ import (
 const followWindow = 4096
 
 func main() {
-	input := flag.String("input", "", "JSONL decision log to analyze (- for stdin)")
+	input := flag.String("input", "", "decision log to analyze, JSONL or binary (- for stdin)")
+	convert := flag.String("convert", "", "re-encode the filtered input to this path (- for stdout) instead of analyzing")
+	convertFormat := flag.String("convert-format", "jsonl", "encoding for -convert: jsonl or binary")
 	follow := flag.String("follow", "", "tail a live dvfsd /v1/events URL instead of reading a log")
 	followMax := flag.Int("follow-max", 0, "stop -follow after this many events (0 = until the stream ends)")
 	followEvery := flag.Int("follow-every", 25, "print a rolling summary every N followed events (0 disables)")
@@ -73,6 +87,12 @@ func main() {
 	if *format != "text" && *format != "json" {
 		usageErr(fmt.Errorf("unknown format %q (use text or json)", *format))
 	}
+	if *convertFormat != "jsonl" && *convertFormat != "binary" {
+		usageErr(fmt.Errorf("unknown convert format %q (use jsonl or binary)", *convertFormat))
+	}
+	if *convert != "" && *follow != "" {
+		usageErr(fmt.Errorf("-convert and -follow are mutually exclusive"))
+	}
 	if filter.Last < 0 {
 		usageErr(fmt.Errorf("-last must be non-negative"))
 	}
@@ -96,16 +116,42 @@ func main() {
 		rd = f
 	}
 
-	events, err := obs.ReadJSONL(rd)
+	events, err := trace.ReadEvents(rd)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dvfstrace:", err)
 		os.Exit(1)
 	}
 	events = filter.Apply(events)
-	if err := writeReport(events, *format); err != nil {
+	if *convert != "" {
+		err = runConvert(events, *convert, *convertFormat)
+	} else {
+		err = writeReport(events, *format)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dvfstrace:", err)
 		os.Exit(1)
 	}
+}
+
+// runConvert re-encodes events to the requested format at path.
+func runConvert(events []obs.DecisionEvent, path, format string) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if format == "binary" {
+		return trace.WriteBinary(out, events)
+	}
+	sink := obs.NewJSONLSink(out)
+	for i := range events {
+		sink.Emit(&events[i])
+	}
+	return sink.Close()
 }
 
 func writeReport(events []obs.DecisionEvent, format string) error {

@@ -595,6 +595,32 @@ func (c *Controller) SetSpanSampling(every int) {
 // Tracer returns the attached decision tracer (nil when none).
 func (c *Controller) Tracer() *obs.Tracer { return c.tracer }
 
+// Clone returns a controller sharing c's immutable trained state
+// (models, slice, selector, profile) with fresh mutable state: no
+// tracer, empty pending map, default span sampling. The trained half
+// is read-only after Build, so clones are safe to drive from
+// different goroutines — fleet simulation trains one controller per
+// (platform, workload) and hands every device its own clone, paying
+// the multi-second training cost once instead of per device.
+func (c *Controller) Clone() *Controller {
+	return &Controller{
+		W:             c.W,
+		Plat:          c.Plat,
+		Instr:         c.Instr,
+		Slice:         c.Slice,
+		Schema:        c.Schema,
+		ModelMin:      c.ModelMin,
+		ModelMax:      c.ModelMax,
+		Selector:      c.Selector,
+		Prof:          c.Prof,
+		hints:         c.hints,
+		memFrac:       c.memFrac,
+		quadCols:      c.quadCols,
+		SliceBound:    c.SliceBound,
+		SliceBoundSec: c.SliceBoundSec,
+	}
+}
+
 // decisionEvent assembles the traced view of one run-time decision.
 // The switch-time field is the selector's table estimate for the
 // cur→target transition — the quantity §3.4 subtracts from the budget

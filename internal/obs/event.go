@@ -30,6 +30,15 @@ type DecisionEvent struct {
 	// serving tier Workload is the model name and Governor is "serve".
 	Workload string `json:"workload"`
 	Governor string `json:"governor,omitempty"`
+	// Device identifies the simulated (or real) device the decision
+	// was made on. Empty on single-device sources — only fleet
+	// simulation and fleet-aware tooling populate it.
+	Device string `json:"device,omitempty"`
+	// Platform names the platform model the device runs
+	// (platform.ByName resolves it). Fleet traces carry it per event
+	// because a heterogeneous fleet has no single trace-wide platform;
+	// empty when the consumer already knows the platform out of band.
+	Platform string `json:"platform,omitempty"`
 	// Job is the job's index within its stream.
 	Job int `json:"job"`
 	// TimeSec is the decision time on the source's clock (simulated

@@ -16,6 +16,10 @@ import (
 type EventFilter struct {
 	// Workload, when non-empty, keeps only events for that workload.
 	Workload string
+	// Device, when non-empty, keeps only events for that device ID
+	// (fleet traces tag every event with one; single-device logs have
+	// none, so a device filter on them matches nothing).
+	Device string
 	// SinceSec, when positive, keeps only events with TimeSec ≥ it.
 	SinceSec float64
 	// Last, when positive, keeps only the last N events surviving the
@@ -25,7 +29,7 @@ type EventFilter struct {
 
 // IsZero reports whether the filter passes everything through.
 func (f EventFilter) IsZero() bool {
-	return f.Workload == "" && f.SinceSec <= 0 && f.Last <= 0
+	return f.Workload == "" && f.Device == "" && f.SinceSec <= 0 && f.Last <= 0
 }
 
 // Apply returns the events surviving the filter, preserving order.
@@ -35,14 +39,11 @@ func (f EventFilter) Apply(events []DecisionEvent) []DecisionEvent {
 		return events
 	}
 	out := events
-	if f.Workload != "" || f.SinceSec > 0 {
+	if f.Workload != "" || f.Device != "" || f.SinceSec > 0 {
 		out = make([]DecisionEvent, 0, len(events))
 		for i := range events {
 			e := &events[i]
-			if f.Workload != "" && e.Workload != f.Workload {
-				continue
-			}
-			if f.SinceSec > 0 && e.TimeSec < f.SinceSec {
+			if !f.Match(e) {
 				continue
 			}
 			out = append(out, *e)
@@ -62,6 +63,9 @@ func (f EventFilter) Match(e *DecisionEvent) bool {
 	if f.Workload != "" && e.Workload != f.Workload {
 		return false
 	}
+	if f.Device != "" && e.Device != f.Device {
+		return false
+	}
 	if f.SinceSec > 0 && e.TimeSec < f.SinceSec {
 		return false
 	}
@@ -75,6 +79,9 @@ func (f EventFilter) Query() url.Values {
 	q := url.Values{}
 	if f.Workload != "" {
 		q.Set("workload", f.Workload)
+	}
+	if f.Device != "" {
+		q.Set("device", f.Device)
 	}
 	if f.SinceSec > 0 {
 		q.Set("since", strconv.FormatFloat(f.SinceSec, 'g', -1, 64))
@@ -90,6 +97,7 @@ func (f EventFilter) Query() url.Values {
 func FilterFromQuery(q url.Values) (EventFilter, error) {
 	var f EventFilter
 	f.Workload = q.Get("workload")
+	f.Device = q.Get("device")
 	if v := q.Get("since"); v != "" {
 		sec, err := strconv.ParseFloat(v, 64)
 		if err != nil || sec < 0 {
@@ -111,6 +119,7 @@ func FilterFromQuery(q url.Values) (EventFilter, error) {
 // writing into f.
 func (f *EventFilter) RegisterFilterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&f.Workload, "workload", "", "keep only events for this workload")
+	fs.StringVar(&f.Device, "device", "", "keep only events for this device ID (fleet traces)")
 	fs.Float64Var(&f.SinceSec, "since", 0, "keep only events at or after this source-clock time (seconds)")
 	fs.IntVar(&f.Last, "last", 0, "keep only the last N events after other filters")
 }

@@ -7,11 +7,11 @@ import (
 
 func filterEvents() []DecisionEvent {
 	return []DecisionEvent{
-		{Seq: 0, Workload: "ldecode", TimeSec: 0.0, Job: 0},
-		{Seq: 1, Workload: "sha", TimeSec: 0.1, Job: 0},
-		{Seq: 2, Workload: "ldecode", TimeSec: 0.2, Job: 1},
-		{Seq: 3, Workload: "sha", TimeSec: 0.3, Job: 1},
-		{Seq: 4, Workload: "ldecode", TimeSec: 0.4, Job: 2},
+		{Seq: 0, Workload: "ldecode", Device: "d0", TimeSec: 0.0, Job: 0},
+		{Seq: 1, Workload: "sha", Device: "d1", TimeSec: 0.1, Job: 0},
+		{Seq: 2, Workload: "ldecode", Device: "d0", TimeSec: 0.2, Job: 1},
+		{Seq: 3, Workload: "sha", Device: "d0", TimeSec: 0.3, Job: 1},
+		{Seq: 4, Workload: "ldecode", Device: "d1", TimeSec: 0.4, Job: 2},
 	}
 }
 
@@ -32,6 +32,9 @@ func TestEventFilterApply(t *testing.T) {
 	}{
 		{"zero passes all", EventFilter{}, []uint64{0, 1, 2, 3, 4}},
 		{"workload", EventFilter{Workload: "sha"}, []uint64{1, 3}},
+		{"device", EventFilter{Device: "d1"}, []uint64{1, 4}},
+		{"device and workload", EventFilter{Device: "d0", Workload: "sha"}, []uint64{3}},
+		{"unknown device", EventFilter{Device: "d9"}, []uint64{}},
 		{"since", EventFilter{SinceSec: 0.2}, []uint64{2, 3, 4}},
 		{"last", EventFilter{Last: 2}, []uint64{3, 4}},
 		{"last larger than input", EventFilter{Last: 99}, []uint64{0, 1, 2, 3, 4}},
@@ -65,16 +68,29 @@ func TestEventFilterZeroReturnsInputSlice(t *testing.T) {
 	if (EventFilter{Last: 1}).IsZero() {
 		t.Error("Last=1 reported IsZero")
 	}
+	if (EventFilter{Device: "d0"}).IsZero() {
+		t.Error("Device filter reported IsZero")
+	}
 }
 
 func TestRegisterFilterFlags(t *testing.T) {
 	var f EventFilter
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	f.RegisterFilterFlags(fs)
-	if err := fs.Parse([]string{"-workload", "sha", "-since", "1.5", "-last", "10"}); err != nil {
+	if err := fs.Parse([]string{"-workload", "sha", "-device", "d7", "-since", "1.5", "-last", "10"}); err != nil {
 		t.Fatal(err)
 	}
-	if f.Workload != "sha" || f.SinceSec != 1.5 || f.Last != 10 {
+	if f.Workload != "sha" || f.Device != "d7" || f.SinceSec != 1.5 || f.Last != 10 {
 		t.Fatalf("parsed filter = %+v", f)
+	}
+
+	// The query-parameter round trip must preserve the device filter
+	// the same way dvfsd's stream handler will parse it.
+	back, err := FilterFromQuery(f.Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != f {
+		t.Fatalf("query round trip: got %+v, want %+v", back, f)
 	}
 }

@@ -1,0 +1,210 @@
+package replay_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// fleetTrace simulates a small heterogeneous fleet and returns its
+// binary trace decoded back to events, plus the simulation result.
+func fleetTrace(t *testing.T) ([]obs.DecisionEvent, *fleet.Result) {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := trace.NewBinaryWriter(&buf)
+	cfg := fleet.Config{
+		Devices:   6,
+		Platforms: []string{"a7", "x86"},
+		Mix:       []fleet.MixEntry{{Workload: "sha", Weight: 1}},
+		Governor:  "prediction",
+		Jobs:      12,
+		Seed:      11,
+		Sink:      bw,
+	}
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, res
+}
+
+// TestFleetReplayMatchesSingleDevice is the acceptance bound: each
+// device's traced energy in the fleet report must equal a standalone
+// single-device replay of the same events exactly (same code path),
+// and stay within the existing <=1% cross-validation bound of the
+// simulator's energy for that device.
+func TestFleetReplayMatchesSingleDevice(t *testing.T) {
+	events, simRes := fleetTrace(t)
+	fr, err := replay.RunFleet(events, replay.FleetOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Devices != 6 || len(fr.PerDevice) != 6 {
+		t.Fatalf("fleet replay covers %d devices, want 6", fr.Devices)
+	}
+
+	simEnergy := map[string]float64{}
+	for _, d := range simRes.PerDevice {
+		simEnergy[d.Spec.ID] = d.EnergyJ
+	}
+	for _, d := range fr.PerDevice {
+		// Standalone single-device replay over the same events.
+		var devEvents []obs.DecisionEvent
+		for _, e := range events {
+			if e.Device == d.ID {
+				devEvents = append(devEvents, e)
+			}
+		}
+		plat, err := platform.ByName(d.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := replay.Run(devEvents, replay.Options{Plat: plat, Seed: 1})
+		if err != nil {
+			t.Fatalf("device %s: %v", d.ID, err)
+		}
+		var singleEnergy float64
+		var singleMisses int
+		for _, g := range single.Groups {
+			singleEnergy += g.Traced.EnergyJ
+			singleMisses += g.Traced.Misses
+		}
+		if d.TracedEnergyJ != singleEnergy || d.TracedMisses != singleMisses {
+			t.Fatalf("device %s: fleet traced {%v J, %d misses} != single-device replay {%v J, %d misses}",
+				d.ID, d.TracedEnergyJ, d.TracedMisses, singleEnergy, singleMisses)
+		}
+		// And the reconstruction stays within 1% of the simulator.
+		sim := simEnergy[d.ID]
+		if sim == 0 {
+			t.Fatalf("device %s missing from simulation result", d.ID)
+		}
+		if rel := math.Abs(d.TracedEnergyJ-sim) / sim; rel > 0.01 {
+			t.Fatalf("device %s: replayed %v J vs simulated %v J (%.2f%% off, bound 1%%)",
+				d.ID, d.TracedEnergyJ, sim, 100*rel)
+		}
+	}
+
+	// Fleet totals are the per-device sums.
+	var sumE float64
+	for _, d := range fr.PerDevice {
+		sumE += d.TracedEnergyJ
+	}
+	if math.Abs(sumE-fr.TracedEnergyJ) > 1e-9 {
+		t.Fatalf("fleet traced energy %v != per-device sum %v", fr.TracedEnergyJ, sumE)
+	}
+}
+
+func TestFleetReplayMarginSweep(t *testing.T) {
+	events, _ := fleetTrace(t)
+	margins := []float64{0, 0.10, 0.30}
+	fr, err := replay.RunFleet(events, replay.FleetOptions{Seed: 1, Margins: margins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Margins) != len(margins) {
+		t.Fatalf("sweep has %d points, want %d", len(fr.Margins), len(margins))
+	}
+	for i, m := range fr.Margins {
+		if m.Margin != margins[i] {
+			t.Fatalf("sweep point %d is margin %v, want %v", i, m.Margin, margins[i])
+		}
+		if m.EnergyJ <= 0 {
+			t.Fatalf("margin %v: non-positive fleet energy %v", m.Margin, m.EnergyJ)
+		}
+		if !(m.DeltaEnergyPctP50 <= m.DeltaEnergyPctP95 && m.DeltaEnergyPctP95 <= m.DeltaEnergyPctP99) {
+			t.Fatalf("margin %v: delta quantiles not ordered: %+v", m.Margin, m)
+		}
+	}
+	// Larger margins run faster (higher levels): fleet energy must not
+	// decrease when the margin grows.
+	if fr.Margins[2].EnergyJ < fr.Margins[0].EnergyJ {
+		t.Fatalf("energy at margin 0.30 (%v J) below margin 0 (%v J)",
+			fr.Margins[2].EnergyJ, fr.Margins[0].EnergyJ)
+	}
+	// Per-platform breakdown covers the whole fleet.
+	var devs int
+	for _, p := range fr.ByPlatform {
+		devs += p.Devices
+	}
+	if devs != fr.Devices {
+		t.Fatalf("platform breakdown covers %d devices, fleet has %d", devs, fr.Devices)
+	}
+	if p := fr.Margin(0.10); p == nil {
+		t.Fatal("Margin(0.10) lookup failed")
+	}
+}
+
+func TestFleetReplayDeterministic(t *testing.T) {
+	events, _ := fleetTrace(t)
+	run := func() []byte {
+		fr, err := replay.RunFleet(events, replay.FleetOptions{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text, html bytes.Buffer
+		fr.WriteText(&text)
+		if err := fr.WriteHTML(&html); err != nil {
+			t.Fatal(err)
+		}
+		return append(text.Bytes(), html.Bytes()...)
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("fleet replay reports are not bit-identical across runs")
+	}
+}
+
+func TestFleetReplayRejectsSingleDeviceTrace(t *testing.T) {
+	events := []obs.DecisionEvent{{Seq: 1, Workload: "sha", Done: true}}
+	if _, err := replay.RunFleet(events, replay.FleetOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "no device ID") {
+		t.Fatalf("expected no-device-ID error, got %v", err)
+	}
+	if _, err := replay.RunFleet(nil, replay.FleetOptions{}); err == nil {
+		t.Fatal("expected error on empty trace")
+	}
+}
+
+func TestFleetReplayReportContent(t *testing.T) {
+	events, _ := fleetTrace(t)
+	fr, err := replay.RunFleet(events, replay.FleetOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text bytes.Buffer
+	fr.WriteText(&text)
+	for _, want := range []string{"fleet replay", "6 devices", "margin", "platform"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+	var html bytes.Buffer
+	if err := fr.WriteHTML(&html); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Margin sweep", "Per-platform breakdown", "<svg"} {
+		if !strings.Contains(html.String(), want) {
+			t.Errorf("html report missing %q", want)
+		}
+	}
+	var js bytes.Buffer
+	if err := fr.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "\"per_device\"") {
+		t.Error("json report missing per_device")
+	}
+}

@@ -57,6 +57,13 @@ type Config struct {
 	// Placement selects how the predictor runs relative to the job
 	// (§4.3, Fig 14): Sequential (default), Pipelined, or Parallel.
 	Placement Placement
+	// JobOffset shifts the workload input generator: job i draws the
+	// parameters generator index i+JobOffset would produce. Fleet
+	// simulation uses it as a per-device phase offset so devices
+	// running the same workload and seed do not execute identical
+	// input sequences in lockstep. Release times and budgets are
+	// unaffected.
+	JobOffset int
 }
 
 // Placement is the predictor scheduling mode of §4.3.
@@ -406,7 +413,7 @@ func Run(w *workload.Workload, gov governor.Governor, cfg Config) (*Result, erro
 		if p, ok := paramsCache[i]; ok {
 			return p
 		}
-		p := gen.Next(i)
+		p := gen.Next(i + cfg.JobOffset)
 		paramsCache[i] = p
 		return p
 	}
