@@ -12,12 +12,16 @@
 // GET /v1/models, POST /v1/predict, POST /v1/predict/batch,
 // GET /v1/events (live decision stream as Server-Sent Events,
 // filterable with ?workload=&since=&last=; dvfstrace -follow tails
-// it), GET /healthz, GET /metrics (Prometheus text format), and —
-// unless -debug=false — GET /debug/decisions (recent decision events
-// as JSON, same filter params), GET /debug/slo (per-workload
+// it), POST /v1/fleet/ingest (fleet decision traces, JSONL or binary;
+// feeds per-device health scoring and keyed fleet SLO burn), GET
+// /v1/fleet (the fleet snapshot as JSON), GET /healthz, GET /metrics
+// (Prometheus text format, including the fleet gauges), and — unless
+// -debug=false — GET /debug/decisions (recent decision events as
+// JSON, same filter params), GET /debug/slo (per-workload
 // deadline-miss burn rates), GET /debug/dash (self-contained
-// auto-refreshing HTML operations dashboard) plus the net/http/pprof
-// handlers under /debug/pprof/.
+// auto-refreshing HTML operations dashboard), GET /debug/fleet (the
+// fleet health dashboard) plus the net/http/pprof handlers under
+// /debug/pprof/.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener drains
 // in-flight requests, then the registry drains in-flight builds.
@@ -40,6 +44,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/serve"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -60,6 +65,9 @@ func main() {
 	sloSlow := flag.Int("slo-slow", 2048, "slow burn-rate window in jobs")
 	streamQueue := flag.Int("stream-queue", 256, "queued events per /v1/events subscriber before dropping (0 disables streaming)")
 	spanEvery := flag.Int("span-every", 1, "capture a per-phase span ledger on every Nth decision (1 = all)")
+	fleetOn := flag.Bool("fleet", true, "serve fleet observability: POST /v1/fleet/ingest, GET /v1/fleet, and /debug/fleet")
+	fleetTopK := flag.Int("fleet-topk", 10, "worst devices surfaced by the fleet tracker")
+	fleetMaxIngest := flag.Int64("fleet-max-ingest", 0, "byte limit for /v1/fleet/ingest bodies (0 = 256 MiB)")
 	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -79,7 +87,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *data, *platName, *workers, *queue, *maxInflight, *timeout, *seed, *preload, *tracePath, *debug, *sloTarget, *sloFast, *sloSlow, *streamQueue, *spanEvery, log); err != nil {
+	if *fleetTopK < 0 || *fleetMaxIngest < 0 {
+		fmt.Fprintln(os.Stderr, "dvfsd: -fleet-topk and -fleet-max-ingest must be non-negative")
+		flag.Usage()
+		os.Exit(2)
+	}
+	fleetCfg := fleetSettings{on: *fleetOn, topK: *fleetTopK, maxIngest: *fleetMaxIngest}
+	if err := run(*addr, *data, *platName, *workers, *queue, *maxInflight, *timeout, *seed, *preload, *tracePath, *debug, *sloTarget, *sloFast, *sloSlow, *streamQueue, *spanEvery, fleetCfg, log); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsd:", err)
 		if errors.Is(err, errUsage) {
 			flag.Usage()
@@ -92,7 +106,14 @@ func main() {
 // errUsage marks validation errors that warrant the usage text.
 var errUsage = errors.New("invalid usage")
 
-func run(addr, data, platName string, workers, queue, maxInflight int, timeout time.Duration, seed int64, preload, tracePath string, debug bool, sloTarget float64, sloFast, sloSlow, streamQueue, spanEvery int, log *slog.Logger) error {
+// fleetSettings groups the fleet-observability flags.
+type fleetSettings struct {
+	on        bool
+	topK      int
+	maxIngest int64
+}
+
+func run(addr, data, platName string, workers, queue, maxInflight int, timeout time.Duration, seed int64, preload, tracePath string, debug bool, sloTarget float64, sloFast, sloSlow, streamQueue, spanEvery int, fleetCfg fleetSettings, log *slog.Logger) error {
 	// Validate everything up front: a daemon must not come up half
 	// configured.
 	plat, err := platform.ByName(platName)
@@ -184,6 +205,26 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 	if err != nil {
 		return err
 	}
+	// Fleet observability: ingested device traces are a separate
+	// population from this daemon's own serving, so they get their own
+	// tracker and their own keyed SLO (fleet / platform:* / workload:*)
+	// rather than feeding the per-workload serving SLO above.
+	var fleetTracker *obs.FleetTracker
+	var fleetSLO *obs.SLOTracker
+	if fleetCfg.on {
+		fleetTracker = obs.NewFleetTracker(obs.FleetConfig{
+			TopK:         fleetCfg.topK,
+			EnergyPerJob: trace.EnergyEstimator(),
+		})
+		if sloTarget > 0 {
+			fleetSLO = obs.NewSLOTracker(obs.SLOConfig{
+				Target:  sloTarget,
+				MaxKeys: 64,
+				Log:     log,
+			})
+		}
+	}
+
 	srv := serve.NewServer(reg, serve.ServerOptions{
 		Log:            log,
 		Metrics:        metrics,
@@ -194,6 +235,9 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 		SLO:            slo,
 		Stream:         stream,
 		SpanEvery:      spanEvery,
+		Fleet:          fleetTracker,
+		FleetSLO:       fleetSLO,
+		MaxIngestBytes: fleetCfg.maxIngest,
 	})
 	for _, name := range preloads {
 		if _, _, err := reg.Train(name, serve.TrainConfig{Seed: seed}); err != nil {

@@ -15,6 +15,10 @@
 // (p50/p95/p99 per-device energy delta, fleet miss rate, per-platform
 // breakdown). -fleet auto (the default) selects fleet mode when the
 // trace carries device IDs; -device replays one device single-mode.
+// Devices replay in parallel (-workers, default GOMAXPROCS) with
+// in-order commits, so every report is byte-identical regardless of
+// worker count; -slo-target adds a keyed fleet SLO burn section
+// (fleet-wide plus per-platform and per-workload keys).
 //
 // Usage:
 //
@@ -61,6 +65,8 @@ func main() {
 	baseline := flag.String("baseline", "", "compare against this committed bench document and fail on regression")
 	maxRegress := flag.Float64("max-regress", 5, "regression tolerance: energy percent / miss-rate points vs -baseline")
 	check := flag.Bool("check", false, "assert oracle ≤ traced ≤ performance energy ordering per group")
+	workers := flag.Int("workers", 0, "fleet replay parallelism: devices replayed concurrently (0 → GOMAXPROCS); reports are byte-identical at any setting")
+	sloTarget := flag.Float64("slo-target", 0, "fleet replay: track keyed SLO burn (fleet/platform/workload) against this miss-rate target (0 disables)")
 	var filter obs.EventFilter
 	filter.RegisterFilterFlags(flag.CommandLine)
 	logFlags := obs.RegisterLogFlags(flag.CommandLine)
@@ -86,6 +92,12 @@ func main() {
 	}
 	if *fleetMode != "auto" && *fleetMode != "on" && *fleetMode != "off" {
 		usageErr(fmt.Errorf("unknown -fleet mode %q (use auto, on, or off)", *fleetMode))
+	}
+	if *workers < 0 {
+		usageErr(fmt.Errorf("-workers must be non-negative"))
+	}
+	if *sloTarget < 0 || *sloTarget >= 1 {
+		usageErr(fmt.Errorf("-slo-target must be in [0,1)"))
 	}
 	plat, err := platform.ByName(*platName)
 	if err != nil {
@@ -124,11 +136,17 @@ func main() {
 		if *baseline != "" || *check {
 			usageErr(fmt.Errorf("-baseline and -check are single-device modes; use -device to select one device or -fleet off"))
 		}
+		var slo *obs.SLOTracker
+		if *sloTarget > 0 {
+			slo = obs.NewSLOTracker(obs.SLOConfig{Target: *sloTarget, MaxKeys: 64})
+		}
 		runFleet(events, replay.FleetOptions{
 			Plat:        plat,
 			Seed:        *seed,
 			Rho:         *rho,
 			TracedAlpha: *alpha,
+			Workers:     *workers,
+			SLO:         slo,
 		}, *format, *jsonOut, *htmlOut, fail)
 		return
 	}

@@ -9,6 +9,7 @@
 //
 //	dvfstrace -input dec.jsonl [-format text|json]
 //	          [-workload w] [-device id] [-since sec] [-last n]
+//	dvfstrace -input fleet.bin -by-device 10 [-format text|json]
 //	dvfstrace -input fleet.bin -convert out.jsonl [-convert-format jsonl|binary]
 //	dvfstrace -follow http://127.0.0.1:8090/v1/events
 //	          [-follow-max n] [-follow-every n] [filter flags]
@@ -20,6 +21,11 @@
 // magic). The filter flags slice large production logs without
 // external tooling and are shared verbatim with dvfsreplay; -device
 // keeps one fleet device's events.
+//
+// -by-device N switches to the fleet health report: the filtered
+// events replay through the same sketch-backed FleetTracker dvfsd's
+// /debug/fleet uses, and the report rolls up device health classes,
+// residual quantiles, and the top-N worst devices with attribution.
 //
 // -convert re-encodes the (filtered) input to -convert-format and
 // writes it to the given path ("-" for stdout) instead of analyzing:
@@ -65,6 +71,7 @@ func main() {
 	followMax := flag.Int("follow-max", 0, "stop -follow after this many events (0 = until the stream ends)")
 	followEvery := flag.Int("follow-every", 25, "print a rolling summary every N followed events (0 disables)")
 	format := flag.String("format", "text", "output format: text or json")
+	byDevice := flag.Int("by-device", 0, "report per-device fleet health instead: top-N worst devices (0 disables)")
 	var filter obs.EventFilter
 	filter.RegisterFilterFlags(flag.CommandLine)
 	logFlags := obs.RegisterLogFlags(flag.CommandLine)
@@ -99,6 +106,12 @@ func main() {
 	if *followMax < 0 || *followEvery < 0 {
 		usageErr(fmt.Errorf("-follow-max and -follow-every must be non-negative"))
 	}
+	if *byDevice < 0 {
+		usageErr(fmt.Errorf("-by-device must be non-negative"))
+	}
+	if *byDevice > 0 && (*convert != "" || *follow != "") {
+		usageErr(fmt.Errorf("-by-device is mutually exclusive with -convert and -follow"))
+	}
 	if *follow != "" {
 		if err := runFollow(*follow, filter, *followMax, *followEvery, *format); err != nil {
 			fmt.Fprintln(os.Stderr, "dvfstrace:", err)
@@ -122,9 +135,12 @@ func main() {
 		os.Exit(1)
 	}
 	events = filter.Apply(events)
-	if *convert != "" {
+	switch {
+	case *convert != "":
 		err = runConvert(events, *convert, *convertFormat)
-	} else {
+	case *byDevice > 0:
+		err = runByDevice(events, *byDevice, *format)
+	default:
 		err = writeReport(events, *format)
 	}
 	if err != nil {

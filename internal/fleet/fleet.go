@@ -480,6 +480,8 @@ type aggregator struct {
 	res        Result
 	energyH    *obs.Histogram
 	missH      *obs.Histogram
+	energySk   *obs.QuantileSketch
+	missSk     *obs.QuantileSketch
 	byPlatform map[string]*GroupAgg
 	byWorkload map[string]*GroupAgg
 	seq        uint64
@@ -500,6 +502,13 @@ func newAggregator(cfg Config) *aggregator {
 			"per-device total energy", obs.LogLinearBuckets(1e-4, 1e4, 30)),
 		missH: reg.Histogram("fleet_device_miss_rate",
 			"per-device deadline miss fraction", missBounds),
+		// Sketches ride alongside the histograms: the histograms keep
+		// the fixed-bucket exposition shape, the t-digests answer the
+		// quantile queries (≤1% rank error with no bucket-boundary
+		// sensitivity — the histogram's weak spot when a distribution
+		// concentrates inside one log-linear bucket).
+		energySk:   obs.NewQuantileSketch(0),
+		missSk:     obs.NewQuantileSketch(0),
 		byPlatform: map[string]*GroupAgg{},
 		byWorkload: map[string]*GroupAgg{},
 	}
@@ -522,6 +531,8 @@ func (a *aggregator) commit(out *devOut) {
 	a.res.EnergyJ += d.EnergyJ
 	a.energyH.Observe(d.EnergyJ)
 	a.missH.Observe(d.MissRate())
+	a.energySk.Add(d.EnergyJ)
+	a.missSk.Add(d.MissRate())
 	for _, g := range []*GroupAgg{
 		a.group(a.byPlatform, d.Spec.Platform),
 		a.group(a.byWorkload, d.Spec.Workload),
@@ -554,16 +565,16 @@ func (a *aggregator) emitEvents(events []obs.DecisionEvent) {
 }
 
 func (a *aggregator) result() *Result {
-	q := func(h *obs.Histogram) Quantiles {
+	q := func(s *obs.QuantileSketch) Quantiles {
 		return Quantiles{
-			P50: h.Quantile(0.50),
-			P90: h.Quantile(0.90),
-			P95: h.Quantile(0.95),
-			P99: h.Quantile(0.99),
+			P50: s.Quantile(0.50),
+			P90: s.Quantile(0.90),
+			P95: s.Quantile(0.95),
+			P99: s.Quantile(0.99),
 		}
 	}
-	a.res.DeviceEnergyJ = q(a.energyH)
-	a.res.DeviceMissRate = q(a.missH)
+	a.res.DeviceEnergyJ = q(a.energySk)
+	a.res.DeviceMissRate = q(a.missSk)
 	a.res.ByPlatform = sortedGroups(a.byPlatform)
 	a.res.ByWorkload = sortedGroups(a.byWorkload)
 	return &a.res

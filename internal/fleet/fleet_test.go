@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"bytes"
+	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/experiments"
@@ -258,5 +260,68 @@ func TestFleetBaselineGovernor(t *testing.T) {
 	// Performance pins fmax: no misses expected at default budgets.
 	if res.MissRate() > 0.5 {
 		t.Fatalf("implausible miss rate %v under performance governor", res.MissRate())
+	}
+}
+
+// TestFleetSketchQuantilesMatchExact: the Result's sketch-backed
+// per-device distributions must sit within 1% rank error of the exact
+// quantiles computed from PerDevice — the acceptance bar the t-digest
+// was brought in to meet (the log-linear histograms it rides alongside
+// cannot promise this when a distribution concentrates in one bucket).
+func TestFleetSketchQuantilesMatchExact(t *testing.T) {
+	cfg := Config{
+		Devices:   600,
+		Platforms: []string{"a7", "x86"},
+		Mix:       []MixEntry{{Workload: "sha", Weight: 2}, {Workload: "ldecode", Weight: 1}},
+		Jobs:      8,
+		Seed:      42,
+		Workers:   4,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	energies := make([]float64, 0, len(res.PerDevice))
+	rates := make([]float64, 0, len(res.PerDevice))
+	for i := range res.PerDevice {
+		energies = append(energies, res.PerDevice[i].EnergyJ)
+		rates = append(rates, res.PerDevice[i].MissRate())
+	}
+	sort.Float64s(energies)
+	sort.Float64s(rates)
+	// rankErr measures how far got's rank interval sits from p. A
+	// repeated value occupies a rank *range* (miss rates tie heavily at
+	// 0); any p inside the range is exact.
+	rankErr := func(sorted []float64, got, p float64) float64 {
+		n := float64(len(sorted))
+		lo := float64(sort.SearchFloat64s(sorted, got)) / n
+		hi := float64(sort.SearchFloat64s(sorted, math.Nextafter(got, math.Inf(1)))) / n
+		switch {
+		case p < lo:
+			return lo - p
+		case p > hi:
+			return p - hi
+		default:
+			return 0
+		}
+	}
+	checks := []struct {
+		name   string
+		sorted []float64
+		q      Quantiles
+	}{
+		{"energy", energies, res.DeviceEnergyJ},
+		{"missrate", rates, res.DeviceMissRate},
+	}
+	for _, c := range checks {
+		for _, pq := range []struct {
+			p   float64
+			got float64
+		}{{0.50, c.q.P50}, {0.90, c.q.P90}, {0.95, c.q.P95}, {0.99, c.q.P99}} {
+			if err := rankErr(c.sorted, pq.got, pq.p); err > 0.01 {
+				t.Errorf("%s q%.0f: sketch %.6g rank error %.4f > 1%%",
+					c.name, pq.p*100, pq.got, err)
+			}
+		}
 	}
 }

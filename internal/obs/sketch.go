@@ -1,0 +1,426 @@
+// Streaming sketches for fleet-scale aggregation: a merging t-digest
+// quantile sketch and a space-saving heavy-hitter sketch. Both hold a
+// fixed amount of memory regardless of how many observations they
+// absorb — the property that makes fleet observability possible at
+// all: a million devices cannot each keep a log, but every device's
+// residual can flow through a few kilobytes of centroids.
+//
+// Both sketches are deterministic: the state after N inserts is a pure
+// function of the insert sequence, and Merge is a pure function of the
+// two operand states. The fleet engine's commit stage feeds shards in
+// device-index order, so fleet-level sketch state — and every byte of
+// every report derived from it — is bit-stable across worker counts.
+//
+// Inserts are hot-path annotated and allocation-free (enforced by
+// dvfsvet statically and `make alloc-gate` at run time): the quantile
+// sketch buffers into a fixed array and compacts in place with its own
+// heapsort; the heavy-hitter sketch is a fixed entry table with
+// hash-then-string comparison, no map.
+package obs
+
+import "math"
+
+// sketch sizing defaults. compression 200 bounds the t-digest at
+// ~1.6 KB of centroids (2·compression float64 pairs) with q50/q95/q99
+// errors well under 1% on 100k-sample streams; 32 heavy-hitter slots
+// cover "top-10 worst devices" with headroom for churn.
+const (
+	defaultCompression = 200
+	sketchBufSize      = 256
+	defaultHHCapacity  = 32
+)
+
+// QuantileSketch is a merging t-digest: centroids sized by the scale
+// bound 4·W·q(1−q)/δ, so tails stay near-exact while the middle of the
+// distribution compresses. The zero value is not usable; call
+// NewQuantileSketch.
+type QuantileSketch struct {
+	compression float64
+	// mean/weight are the centroids, ascending by mean; n is the live
+	// count. scratchM/scratchW hold compaction output (swapped in).
+	mean, weight []float64
+	scratchM     []float64
+	scratchW     []float64
+	n            int
+	// buf holds raw inserts until a compaction folds them in.
+	buf    []float64
+	bufLen int
+	count  float64
+	min    float64
+	max    float64
+}
+
+// NewQuantileSketch returns an empty sketch. compression ≤ 0 selects
+// the default (200). Memory is fixed at allocation time: ~4·compression
+// centroid slots plus a 256-value insert buffer.
+func NewQuantileSketch(compression int) *QuantileSketch {
+	if compression <= 0 {
+		compression = defaultCompression
+	}
+	capN := 4 * compression
+	return &QuantileSketch{
+		compression: float64(compression),
+		mean:        make([]float64, capN),
+		weight:      make([]float64, capN),
+		scratchM:    make([]float64, capN),
+		scratchW:    make([]float64, capN),
+		buf:         make([]float64, sketchBufSize),
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+	}
+}
+
+// Add inserts one observation. Non-finite values are dropped (the
+// sketch represents a distribution; NaN has no rank). Allocation-free:
+// the buffer and compaction scratch are fixed arrays.
+//
+//dvfs:hotpath
+func (s *QuantileSketch) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.count++
+	s.buf[s.bufLen] = v
+	s.bufLen++
+	if s.bufLen == len(s.buf) {
+		s.flush()
+	}
+}
+
+// Count returns the number of (finite) observations absorbed.
+func (s *QuantileSketch) Count() float64 { return s.count }
+
+// Centroids returns the current centroid count after folding any
+// buffered inserts — the memory-bound tests assert it never exceeds
+// the fixed capacity.
+func (s *QuantileSketch) Centroids() int {
+	s.flush()
+	return s.n
+}
+
+// flush folds the insert buffer into the centroid list.
+func (s *QuantileSketch) flush() {
+	if s.bufLen == 0 {
+		return
+	}
+	sortFloats(s.buf[:s.bufLen])
+	s.compact(s.buf[:s.bufLen], nil)
+	s.bufLen = 0
+}
+
+// compact merges the existing centroids with a second ascending
+// sequence (bw == nil means unit weights) into the scratch arrays
+// under the scale bound, then swaps scratch in. Pure function of the
+// operand states — the determinism contract lives here.
+func (s *QuantileSketch) compact(bm, bw []float64) {
+	i, j := 0, 0
+	k := 0
+	var cm, cw float64
+	wSoFar := 0.0
+	first := true
+	for i < s.n || j < len(bm) {
+		var m, w float64
+		// Ties between the two sequences break toward the existing
+		// centroids, which keeps the merge independent of which operand
+		// carried the value.
+		if i < s.n && (j >= len(bm) || s.mean[i] <= bm[j]) {
+			m, w = s.mean[i], s.weight[i]
+			i++
+		} else {
+			m = bm[j]
+			w = 1
+			if bw != nil {
+				w = bw[j]
+			}
+			j++
+		}
+		if first {
+			cm, cw = m, w
+			first = false
+			continue
+		}
+		q := (wSoFar + (cw+w)/2) / s.count
+		limit := 4 * s.count * q * (1 - q) / s.compression
+		if cw+w <= limit || k == len(s.scratchM)-1 {
+			// Merge into the current centroid (forced when scratch is at
+			// capacity — cannot happen under the scale bound, but the
+			// guard keeps even a pathological stream allocation-free).
+			cm = (cm*cw + m*w) / (cw + w)
+			cw += w
+		} else {
+			s.scratchM[k] = cm
+			s.scratchW[k] = cw
+			k++
+			wSoFar += cw
+			cm, cw = m, w
+		}
+	}
+	if !first {
+		s.scratchM[k] = cm
+		s.scratchW[k] = cw
+		k++
+	}
+	s.mean, s.scratchM = s.scratchM, s.mean
+	s.weight, s.scratchW = s.scratchW, s.weight
+	s.n = k
+}
+
+// Merge folds o into s. Deterministic: the result depends only on the
+// two operand states, so shards merged in a fixed order produce
+// bit-identical fleet sketches. Both sketches' insert buffers are
+// folded in first (o's estimates are unchanged by this).
+func (s *QuantileSketch) Merge(o *QuantileSketch) {
+	if o == nil {
+		return
+	}
+	s.flush()
+	o.flush()
+	if o.n == 0 {
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.count += o.count
+	s.compact(o.mean[:o.n], o.weight[:o.n])
+}
+
+// Quantile estimates the p-quantile (clamped to [0,1]) with linear
+// interpolation between centroid means, anchored at the exact min and
+// max. NaN with no observations. Folds buffered inserts first.
+func (s *QuantileSketch) Quantile(p float64) float64 {
+	s.flush()
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return s.min
+	}
+	if p >= 1 {
+		return s.max
+	}
+	target := p * s.count
+	// Centroid i sits at cumulative position wSoFar + weight[i]/2.
+	if target <= s.weight[0]/2 {
+		// Below the first centroid's midpoint: interpolate from min.
+		return s.min + (s.mean[0]-s.min)*(target/(s.weight[0]/2+1e-300))
+	}
+	wSoFar := 0.0
+	for i := 0; i < s.n-1; i++ {
+		pos := wSoFar + s.weight[i]/2
+		next := wSoFar + s.weight[i] + s.weight[i+1]/2
+		if target <= next {
+			frac := (target - pos) / (next - pos)
+			return s.mean[i] + frac*(s.mean[i+1]-s.mean[i])
+		}
+		wSoFar += s.weight[i]
+	}
+	// Above the last centroid's midpoint: interpolate toward max.
+	last := s.n - 1
+	pos := wSoFar + s.weight[last]/2
+	span := s.count - pos
+	if span <= 0 {
+		return s.max
+	}
+	frac := (target - pos) / span
+	if frac > 1 {
+		frac = 1
+	}
+	return s.mean[last] + frac*(s.max-s.mean[last])
+}
+
+// sortFloats is an in-place heapsort: deterministic, iterative, and
+// allocation-free, so the hot-path compaction can sort its buffer
+// without reaching into package sort.
+func sortFloats(a []float64) {
+	n := len(a)
+	for root := n/2 - 1; root >= 0; root-- {
+		siftDown(a, root, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDown(a, 0, end)
+	}
+}
+
+func siftDown(a []float64, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+// HeavyHit is one entry of a HeavyHitters sketch: Count is the upper
+// bound on the key's true count, Err the overestimate bound (true
+// count ≥ Count − Err).
+type HeavyHit struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err"`
+}
+
+// HeavyHitters is a space-saving top-K sketch over string keys (device
+// IDs): fixed capacity, the minimum-count entry is evicted when a new
+// key arrives at a full table. Any key with true count above N/capacity
+// is guaranteed present. The zero value is not usable; call
+// NewHeavyHitters.
+type HeavyHitters struct {
+	keys  []string
+	hash  []uint64
+	count []uint64
+	err   []uint64
+	n     int
+}
+
+// NewHeavyHitters returns an empty sketch with the given capacity
+// (≤ 0 selects 32). Memory is fixed: capacity entries, no map.
+func NewHeavyHitters(capacity int) *HeavyHitters {
+	if capacity <= 0 {
+		capacity = defaultHHCapacity
+	}
+	return &HeavyHitters{
+		keys:  make([]string, capacity),
+		hash:  make([]uint64, capacity),
+		count: make([]uint64, capacity),
+		err:   make([]uint64, capacity),
+	}
+}
+
+// strHash is FNV-1a over the key's bytes — indexing a string allocates
+// nothing, unlike a []byte conversion.
+func strHash(key string) uint64 {
+	h := fnvOffset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Add credits key with inc. Lookup compares the cached hash before the
+// string, so the common steady-state path (key already tracked) is a
+// scan of at most capacity word compares. Eviction replaces the
+// minimum-count entry (ties break toward the lexicographically larger
+// key, so eviction is deterministic) and inherits its count as the
+// new entry's error bound — the space-saving invariant.
+//
+//dvfs:hotpath
+func (h *HeavyHitters) Add(key string, inc uint64) {
+	hv := strHash(key)
+	for i := 0; i < h.n; i++ {
+		if h.hash[i] == hv && h.keys[i] == key {
+			h.count[i] += inc
+			return
+		}
+	}
+	if h.n < len(h.keys) {
+		i := h.n
+		h.n++
+		h.keys[i] = key
+		h.hash[i] = hv
+		h.count[i] = inc
+		h.err[i] = 0
+		return
+	}
+	mi := 0
+	for i := 1; i < h.n; i++ {
+		if h.count[i] < h.count[mi] ||
+			(h.count[i] == h.count[mi] && h.keys[i] > h.keys[mi]) {
+			mi = i
+		}
+	}
+	h.err[mi] = h.count[mi]
+	h.count[mi] += inc
+	h.keys[mi] = key
+	h.hash[mi] = hv
+}
+
+// Merge folds o into s: counts and error bounds sum for shared keys;
+// the union is re-ranked (count descending, key ascending) and
+// truncated to s's capacity. Deterministic regardless of either
+// operand's internal entry order.
+func (h *HeavyHitters) Merge(o *HeavyHitters) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	union := make([]HeavyHit, 0, h.n+o.n)
+	for i := 0; i < h.n; i++ {
+		union = append(union, HeavyHit{Key: h.keys[i], Count: h.count[i], Err: h.err[i]})
+	}
+	for i := 0; i < o.n; i++ {
+		found := false
+		for k := range union {
+			if union[k].Key == o.keys[i] {
+				union[k].Count += o.count[i]
+				union[k].Err += o.err[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			union = append(union, HeavyHit{Key: o.keys[i], Count: o.count[i], Err: o.err[i]})
+		}
+	}
+	sortHits(union)
+	h.n = 0
+	for _, e := range union {
+		if h.n == len(h.keys) {
+			break
+		}
+		i := h.n
+		h.n++
+		h.keys[i] = e.Key
+		h.hash[i] = strHash(e.Key)
+		h.count[i] = e.Count
+		h.err[i] = e.Err
+	}
+}
+
+// Top returns the n highest-count entries, count descending with
+// ascending-key tie-break (deterministic output for deterministic
+// feeds). n ≤ 0 returns every tracked entry.
+func (h *HeavyHitters) Top(n int) []HeavyHit {
+	out := make([]HeavyHit, 0, h.n)
+	for i := 0; i < h.n; i++ {
+		out = append(out, HeavyHit{Key: h.keys[i], Count: h.count[i], Err: h.err[i]})
+	}
+	sortHits(out)
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// sortHits orders by count descending, then key ascending — a total
+// order, so equal-count entries cannot reorder across runs. Insertion
+// sort: the slices here are at most a couple of capacities long.
+func sortHits(hits []HeavyHit) {
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &hits[j-1], &hits[j]
+			if a.Count > b.Count || (a.Count == b.Count && a.Key <= b.Key) {
+				break
+			}
+			hits[j-1], hits[j] = hits[j], hits[j-1]
+		}
+	}
+}

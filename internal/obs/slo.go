@@ -31,6 +31,14 @@ type SLOConfig struct {
 	// MinSamples gates alerting until a workload has completed at
 	// least this many jobs; zero → 32.
 	MinSamples int
+	// MaxKeys bounds the number of distinct keys the tracker will
+	// allocate windows for; zero → unbounded (the original
+	// per-workload behaviour, where cardinality is small and known).
+	// Fleet mode derives keys from untrusted traces, so it sets a
+	// bound: once reached, observations for new keys fold into the
+	// catch-all OverflowKey so totals stay accurate while memory stays
+	// fixed.
+	MaxKeys int
 	// Log receives alert transitions; nil discards them.
 	Log *slog.Logger
 	// BurnGauge, when non-nil, tracks the current burn rate per
@@ -130,17 +138,54 @@ func NewSLOTracker(cfg SLOConfig) *SLOTracker {
 // Target returns the configured miss-rate objective.
 func (t *SLOTracker) Target() float64 { return t.cfg.Target }
 
+// OverflowKey receives observations for keys beyond the MaxKeys bound.
+const OverflowKey = "_overflow"
+
+// FleetKey is the key under which ObserveEvent tracks the whole
+// fleet's aggregate burn rate.
+const FleetKey = "fleet"
+
+// ObserveEvent feeds a completed decision event under fleet keys: the
+// aggregate FleetKey plus "platform:<name>" and "workload:<name>"
+// breakdowns when the event carries them. This is the keyed/fleet mode
+// used by the /v1/fleet/ingest endpoint and the fleet replay engine —
+// the same multi-window burn-rate machinery, keyed by trace dimensions
+// instead of the serving tier's model name. Events that have not
+// completed carry no deadline outcome and are ignored.
+func (t *SLOTracker) ObserveEvent(e *DecisionEvent) {
+	if e == nil || !e.Done {
+		return
+	}
+	t.Observe(FleetKey, e.Missed)
+	if e.Platform != "" {
+		t.Observe("platform:"+e.Platform, e.Missed)
+	}
+	if e.Workload != "" {
+		t.Observe("workload:"+e.Workload, e.Missed)
+	}
+}
+
 // Observe feeds one completed job's deadline outcome for a workload
 // and re-evaluates the alert state.
 func (t *SLOTracker) Observe(workload string, missed bool) {
 	t.mu.Lock()
 	st := t.per[workload]
 	if st == nil {
-		st = &sloState{
-			fast: missWindow{bits: make([]bool, t.cfg.FastWindow)},
-			slow: missWindow{bits: make([]bool, t.cfg.SlowWindow)},
+		if t.cfg.MaxKeys > 0 && len(t.per) >= t.cfg.MaxKeys {
+			// At the key bound: fold into the catch-all window instead
+			// of allocating a new one (creating the catch-all itself may
+			// exceed the bound by one — the bound is about untrusted
+			// cardinality, not an exact count).
+			workload = OverflowKey
+			st = t.per[workload]
 		}
-		t.per[workload] = st
+		if st == nil {
+			st = &sloState{
+				fast: missWindow{bits: make([]bool, t.cfg.FastWindow)},
+				slow: missWindow{bits: make([]bool, t.cfg.SlowWindow)},
+			}
+			t.per[workload] = st
+		}
 	}
 	st.fast.push(missed)
 	st.slow.push(missed)

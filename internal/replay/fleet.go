@@ -10,7 +10,9 @@ package replay
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/platform"
@@ -28,6 +30,17 @@ type FleetOptions struct {
 	TracedAlpha float64
 	// Margins is the fleet-wide margin sweep; nil → Options' default.
 	Margins []float64
+	// Workers bounds per-device replay concurrency; zero selects
+	// runtime.GOMAXPROCS. The result is byte-identical across worker
+	// counts: devices replay in parallel but commit in sorted-ID order
+	// (the fleet engine's reorder-buffer pattern), so every float sum
+	// and every report byte is fixed by the trace alone.
+	Workers int
+	// SLO, when non-nil, receives every completed replayed event
+	// (obs.SLOTracker.ObserveEvent keying: fleet / platform:* /
+	// workload:*), fed in sorted-device order from the commit stage —
+	// fleet-level burn tracking over replayed traces.
+	SLO *obs.SLOTracker
 }
 
 // FleetDeviceResult is one device's replay, reduced to what the fleet
@@ -99,6 +112,11 @@ type FleetReplayResult struct {
 	ByPlatform []FleetPlatformResult `json:"by_platform"`
 	// PerDevice is sorted by device ID.
 	PerDevice []FleetDeviceResult `json:"per_device"`
+	// SLO is the fleet burn-rate snapshot over the replayed trace
+	// (fleet / platform:* / workload:* keys), present when
+	// FleetOptions.SLO was set. SLOTarget is that tracker's objective.
+	SLO       []obs.SLOStatus `json:"slo,omitempty"`
+	SLOTarget float64         `json:"slo_target,omitempty"`
 }
 
 // Margin returns the sweep point for the given margin (nil if absent).
@@ -156,30 +174,88 @@ func RunFleet(events []obs.DecisionEvent, opts FleetOptions) (*FleetReplayResult
 		plats[name] = p
 		return p, nil
 	}
+	// Resolve every device's platform serially before the pool starts:
+	// the memo map stays single-threaded, and resolution errors surface
+	// at the same device regardless of worker count.
+	devPlats := make([]*platform.Platform, len(ids))
+	for i, id := range ids {
+		p, err := resolve(byDevice[id][0].Platform)
+		if err != nil {
+			return nil, fmt.Errorf("replay: device %s: %w", id, err)
+		}
+		devPlats[i] = p
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+
+	// Worker pool + in-order commit (the internal/fleet pattern):
+	// workers replay devices out of order; the commit stage below
+	// reassembles sorted-ID order before any float is summed or any
+	// delta appended, so the result — and every derived report byte —
+	// is identical across worker counts.
+	type indexed struct {
+		i   int
+		r   *Result
+		err error
+	}
+	jobs := make(chan int)
+	outs := make(chan indexed, workers*2)
+	var abort sync.Once
+	aborted := make(chan struct{})
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r, err := Run(byDevice[ids[i]], Options{
+					Plat:        devPlats[i],
+					Seed:        opts.Seed,
+					Rho:         opts.Rho,
+					Margins:     margins,
+					Alphas:      []float64{}, // fleet sweeps margins only
+					TracedAlpha: opts.TracedAlpha,
+				})
+				if err != nil {
+					err = fmt.Errorf("replay: device %s: %w", ids[i], err)
+					abort.Do(func() { close(aborted) })
+				}
+				outs <- indexed{i, r, err}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range ids {
+			select {
+			case jobs <- i:
+			case <-aborted:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(outs)
+	}()
 
 	out := &FleetReplayResult{Devices: len(ids), Events: len(events)}
 	byPlat := map[string]*FleetPlatformResult{}
 	// deltas[mi] collects each device's energy delta (percent vs its
-	// own traced reconstruction) at margin mi.
+	// own traced reconstruction) at margin mi, appended in device order
+	// by the commit stage.
 	deltas := make([][]float64, len(margins))
 
-	for _, id := range ids {
+	commit := func(i int, r *Result) {
+		id := ids[i]
 		devEvents := byDevice[id]
-		plat, err := resolve(devEvents[0].Platform)
-		if err != nil {
-			return nil, fmt.Errorf("replay: device %s: %w", id, err)
-		}
-		r, err := Run(devEvents, Options{
-			Plat:        plat,
-			Seed:        opts.Seed,
-			Rho:         opts.Rho,
-			Margins:     margins,
-			Alphas:      []float64{}, // fleet sweeps margins only
-			TracedAlpha: opts.TracedAlpha,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("replay: device %s: %w", id, err)
-		}
+		plat := devPlats[i]
 		d := FleetDeviceResult{
 			ID:            id,
 			Platform:      devEvents[0].Platform,
@@ -237,6 +313,47 @@ func RunFleet(events []obs.DecisionEvent, opts FleetOptions) (*FleetReplayResult
 			}
 		}
 		out.PerDevice = append(out.PerDevice, d)
+		if opts.SLO != nil {
+			for ei := range devEvents {
+				opts.SLO.ObserveEvent(&devEvents[ei])
+			}
+		}
+	}
+
+	// Commit stage: drain workers, reassemble device-index order. On
+	// error, keep the error from the smallest device index (the one a
+	// serial run would have hit first) so failures are deterministic
+	// too.
+	reorder := make(map[int]*Result, workers*2)
+	next := 0
+	var firstErr error
+	firstErrIdx := len(ids)
+	for o := range outs {
+		if o.err != nil {
+			if o.i < firstErrIdx {
+				firstErr, firstErrIdx = o.err, o.i
+			}
+			abort.Do(func() { close(aborted) })
+			continue
+		}
+		reorder[o.i] = o.r
+		for {
+			r, ok := reorder[next]
+			if !ok {
+				break
+			}
+			delete(reorder, next)
+			if firstErr == nil {
+				commit(next, r)
+			}
+			next++
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if next != len(ids) {
+		return nil, fmt.Errorf("replay: committed %d of %d devices", next, len(ids))
 	}
 
 	if out.Jobs > 0 {
@@ -263,6 +380,10 @@ func RunFleet(events []obs.DecisionEvent, opts FleetOptions) (*FleetReplayResult
 	sort.Slice(out.ByPlatform, func(i, j int) bool {
 		return out.ByPlatform[i].Platform < out.ByPlatform[j].Platform
 	})
+	if opts.SLO != nil {
+		out.SLO = opts.SLO.Snapshot()
+		out.SLOTarget = opts.SLO.Target()
+	}
 	return out, nil
 }
 

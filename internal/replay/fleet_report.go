@@ -33,6 +33,17 @@ func (r *FleetReplayResult) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "platform %-12s %6d devices, %8d jobs, traced %.3f J, %d misses (%.2f%%)\n",
 			p.Platform, p.Devices, p.Jobs, p.TracedEnergyJ, p.TracedMisses, 100*missRate)
 	}
+	if len(r.SLO) > 0 {
+		fmt.Fprintf(w, "slo burn      target %.2f%% miss rate\n", 100*r.SLOTarget)
+		for _, s := range r.SLO {
+			alert := ""
+			if s.Alerting {
+				alert = "  ALERT"
+			}
+			fmt.Fprintf(w, "  %-24s %8d jobs, %6d misses (%.2f%%), burn fast %.2fx slow %.2fx%s\n",
+				s.Workload, s.Jobs, s.Misses, 100*s.MissRate, s.FastBurn, s.SlowBurn, alert)
+		}
+	}
 }
 
 // WriteJSON writes the canonical machine-readable document, indented,
@@ -81,6 +92,29 @@ func (r *FleetReplayResult) WriteHTML(w io.Writer) error {
 		p.Table(header, rows, []bool{true, true, true, true, true, true, true, true})
 		p.BarChart("Fleet energy by margin [J]", labels, energies, "%.2f")
 		p.BarChart("Fleet miss rate by margin [%]", labels, missRates, "%.2f")
+	}
+
+	if len(r.SLO) > 0 {
+		p.Section("Fleet SLO burn")
+		p.Para(fmt.Sprintf("Deadline-miss objective: %.2f%%. Burn is observed miss rate over the objective, per window.", 100*r.SLOTarget))
+		header := []string{"key", "jobs", "misses", "miss %", "fast burn", "slow burn", "alert"}
+		rows := make([][]string, 0, len(r.SLO))
+		for _, s := range r.SLO {
+			alert := ""
+			if s.Alerting {
+				alert = "ALERT"
+			}
+			rows = append(rows, []string{
+				s.Workload,
+				fmt.Sprintf("%d", s.Jobs),
+				fmt.Sprintf("%d", s.Misses),
+				fmt.Sprintf("%.2f", 100*s.MissRate),
+				fmt.Sprintf("%.2fx", s.FastBurn),
+				fmt.Sprintf("%.2fx", s.SlowBurn),
+				alert,
+			})
+		}
+		p.Table(header, rows, []bool{false, true, true, true, true, true, false})
 	}
 
 	if len(r.ByPlatform) > 0 {

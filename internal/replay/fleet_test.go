@@ -208,3 +208,90 @@ func TestFleetReplayReportContent(t *testing.T) {
 		t.Error("json report missing per_device")
 	}
 }
+
+// TestFleetReplayByteIdenticalAcrossWorkers: the parallelized RunFleet
+// must produce byte-identical text, JSON, and HTML reports at every
+// worker count — the in-order commit stage is the only place floats
+// are summed and deltas appended.
+func TestFleetReplayByteIdenticalAcrossWorkers(t *testing.T) {
+	events, _ := fleetTrace(t)
+	run := func(workers int) []byte {
+		slo := obs.NewSLOTracker(obs.SLOConfig{Target: 0.01})
+		fr, err := replay.RunFleet(events, replay.FleetOptions{
+			Seed: 1, Workers: workers, SLO: slo,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		fr.WriteText(&out)
+		if err := fr.WriteJSON(&out); err != nil {
+			t.Fatal(err)
+		}
+		if err := fr.WriteHTML(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	base := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		if !bytes.Equal(base, run(workers)) {
+			t.Fatalf("reports differ between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestFleetReplaySLOBurn: with an SLO tracker attached, the result
+// carries a fleet burn snapshot keyed by fleet/platform/workload, its
+// totals agree with the replayed trace, and the report writers render
+// it.
+func TestFleetReplaySLOBurn(t *testing.T) {
+	events, _ := fleetTrace(t)
+	slo := obs.NewSLOTracker(obs.SLOConfig{Target: 0.01})
+	fr, err := replay.RunFleet(events, replay.FleetOptions{Seed: 1, SLO: slo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.SLO) == 0 || fr.SLOTarget != 0.01 {
+		t.Fatalf("missing SLO snapshot: %+v target %v", fr.SLO, fr.SLOTarget)
+	}
+	var fleetKey *obs.SLOStatus
+	platforms, workloads := 0, 0
+	for i := range fr.SLO {
+		switch {
+		case fr.SLO[i].Workload == obs.FleetKey:
+			fleetKey = &fr.SLO[i]
+		case strings.HasPrefix(fr.SLO[i].Workload, "platform:"):
+			platforms++
+		case strings.HasPrefix(fr.SLO[i].Workload, "workload:"):
+			workloads++
+		}
+	}
+	if fleetKey == nil {
+		t.Fatalf("no %q key in SLO snapshot: %+v", obs.FleetKey, fr.SLO)
+	}
+	// Every completed event flows into the fleet key exactly once.
+	completed := 0
+	for i := range events {
+		if events[i].Done {
+			completed++
+		}
+	}
+	if fleetKey.Jobs != int64(completed) {
+		t.Errorf("fleet SLO saw %d jobs, trace has %d completed events", fleetKey.Jobs, completed)
+	}
+	if platforms != 2 || workloads != 1 {
+		t.Errorf("got %d platform keys, %d workload keys; want 2 and 1", platforms, workloads)
+	}
+	var text, html bytes.Buffer
+	fr.WriteText(&text)
+	if !strings.Contains(text.String(), "slo burn") {
+		t.Errorf("text report missing SLO section:\n%s", text.String())
+	}
+	if err := fr.WriteHTML(&html); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html.String(), "Fleet SLO burn") {
+		t.Error("html report missing Fleet SLO burn section")
+	}
+}

@@ -48,6 +48,18 @@ type ServerOptions struct {
 	// SpanEvery samples the per-phase span ledger on every Nth traced
 	// prediction; ≤ 1 captures all of them.
 	SpanEvery int
+	// Fleet, when non-nil, enables POST /v1/fleet/ingest (decision
+	// traces, JSONL or binary) and GET /v1/fleet, plus GET /debug/fleet
+	// when EnableDebug is also set, and exports fleet gauges through
+	// the shared metrics registry.
+	Fleet *obs.FleetTracker
+	// FleetSLO, when non-nil, receives every ingested fleet event for
+	// keyed burn-rate tracking (fleet / platform:* / workload:* keys).
+	// Kept separate from SLO, which tracks this daemon's own serving.
+	FleetSLO *obs.SLOTracker
+	// MaxIngestBytes bounds /v1/fleet/ingest bodies, which are whole
+	// traces and dwarf normal API requests; 0 → 256 MiB.
+	MaxIngestBytes int64
 	// EnableDebug mounts GET /debug/decisions (the tracer ring as
 	// JSON), GET /debug/dash (the operations dashboard), GET
 	// /debug/slo, and the net/http/pprof handlers under /debug/pprof/.
@@ -70,6 +82,11 @@ type Server struct {
 	spans   *obs.SpanSampler
 	start   time.Time
 	mux     *http.ServeMux
+
+	fleet     *obs.FleetTracker
+	fleetSLO  *obs.SLOTracker
+	fleetG    *fleetGauges
+	maxIngest int64
 }
 
 // NewServer wires the HTTP API around a registry.
@@ -92,6 +109,9 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 8 << 20
 	}
+	if opts.MaxIngestBytes <= 0 {
+		opts.MaxIngestBytes = 256 << 20
+	}
 	s := &Server{
 		reg:     reg,
 		log:     opts.Log,
@@ -106,6 +126,10 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 		spans:   obs.NewSpanSampler(opts.SpanEvery),
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
+
+		fleet:     opts.Fleet,
+		fleetSLO:  opts.FleetSLO,
+		maxIngest: opts.MaxIngestBytes,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -113,6 +137,13 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/models/{name}", s.guard("models_put", s.handleModelPut))
 	s.mux.HandleFunc("POST /v1/predict", s.guard("predict", s.handlePredict))
 	s.mux.HandleFunc("POST /v1/predict/batch", s.guard("predict_batch", s.handlePredictBatch))
+	if opts.Fleet != nil {
+		s.fleetG = newFleetGauges(s.metrics.Registry())
+		// Traces are orders of magnitude larger than API requests, so
+		// ingest gets its own body limit.
+		s.mux.HandleFunc("POST /v1/fleet/ingest", s.guardBody("fleet_ingest", s.maxIngest, s.handleFleetIngest))
+		s.mux.HandleFunc("GET /v1/fleet", s.guard("fleet_status", s.handleFleetStatus))
+	}
 	if opts.Stream != nil {
 		// Deliberately unguarded: a stream is long-lived by design, so
 		// the per-request timeout and the inflight semaphore would
@@ -123,6 +154,9 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 		s.mux.HandleFunc("GET /debug/decisions", s.handleDecisions)
 		s.mux.HandleFunc("GET /debug/dash", s.handleDash)
 		s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
+		if opts.Fleet != nil {
+			s.mux.HandleFunc("GET /debug/fleet", s.handleFleetDash)
+		}
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -168,6 +202,12 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // limiting (shed with 429 + Retry-After), a per-request timeout
 // context, body size limits, metrics, and a structured request log.
 func (s *Server) guard(route string, h http.HandlerFunc) http.HandlerFunc {
+	return s.guardBody(route, 0, h)
+}
+
+// guardBody is guard with an explicit body limit; 0 uses the server
+// default. Fleet trace ingest is the one route that needs more.
+func (s *Server) guardBody(route string, maxBody int64, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
@@ -188,7 +228,11 @@ func (s *Server) guard(route string, h http.HandlerFunc) http.HandlerFunc {
 		defer cancel()
 		r = r.WithContext(ctx)
 		if r.Body != nil {
-			r.Body = http.MaxBytesReader(sw, r.Body, s.maxBody)
+			limit := maxBody
+			if limit <= 0 {
+				limit = s.maxBody
+			}
+			r.Body = http.MaxBytesReader(sw, r.Body, limit)
 		}
 		h(sw, r)
 		s.finish(route, r, sw, t0)
@@ -230,6 +274,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.tracer != nil {
 		s.metrics.SyncRingDropped("decisions", s.tracer.Dropped())
+	}
+	if s.fleet != nil && s.fleetG != nil {
+		snap := s.fleet.Snapshot()
+		s.fleetG.sync(&snap)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = s.metrics.WriteTo(w)
