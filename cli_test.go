@@ -3,6 +3,7 @@ package repro_test
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -657,5 +658,146 @@ func TestCLIDvfsreplayChecksAreSingleDevice(t *testing.T) {
 	out := failCLI(t, "./cmd/dvfsreplay", "-input", bin, "-check")
 	if !strings.Contains(out, "single-device") {
 		t.Errorf("missing single-device error:\n%s", out)
+	}
+}
+
+// The telemetry-history pipeline offline: simulate decisions, replay
+// them through the store via dvfstsdb -bench, and hold the bench to
+// the acceptance numbers (compression ≥ 8× vs raw 16-byte points,
+// zero allocations on the append hot path).
+func TestCLIDvfstsdbBenchOnSimTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	log := t.TempDir() + "/dec.jsonl"
+	runCLI(t, "./cmd/dvfssim", "-workload", "sha", "-governor", "prediction", "-jobs", "400", "-trace", log)
+	out := runCLI(t, "./cmd/dvfstsdb", "-bench", "-trace", log, "-samples", "5000")
+	var res struct {
+		Source       string  `json:"source"`
+		Samples      int64   `json:"samples"`
+		Compression  float64 `json:"compression_vs_raw16"`
+		AppendNs     float64 `json:"append_ns_per_op"`
+		AppendAllocs float64 `json:"append_allocs_per_op"`
+		QueryMs      float64 `json:"query_1h_1s_ms"`
+		QueryPoints  int     `json:"query_points"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bench output is not JSON: %v\n%s", err, out)
+	}
+	if res.Source != "trace" || res.Samples == 0 {
+		t.Fatalf("bench ingested nothing: %+v", res)
+	}
+	if res.Compression < 8 {
+		t.Errorf("compression %.2fx < 8x", res.Compression)
+	}
+	if res.AppendAllocs != 0 {
+		t.Errorf("append allocated %.4f/op", res.AppendAllocs)
+	}
+	if res.QueryPoints != 3600 || res.QueryMs <= 0 || res.QueryMs > 100 {
+		t.Errorf("1h/1s query: %d points in %.3fms", res.QueryPoints, res.QueryMs)
+	}
+}
+
+// Crash-recovery acceptance: boot dvfsd with a store dir, drive load,
+// SIGKILL it mid-write, then inspect/query/compact the dir offline.
+// The recovered store must hold history and survive compaction.
+func TestCLIDvfstsdbRecoversKilledDaemonStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool and a daemon")
+	}
+	dir := t.TempDir()
+	bin := dir + "/dvfsd"
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/dvfsd").CombinedOutput(); err != nil {
+		t.Fatalf("building dvfsd: %v\n%s", err, out)
+	}
+	storeDir := dir + "/tsdb"
+
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0",
+		"-tsdb-scrape", "100ms", "-tsdb-dir", storeDir, "-tsdb-block", "1s")
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "addr="); i >= 0 && strings.Contains(line, "dvfsd listening") {
+				addrCh <- strings.Fields(line[i+len("addr="):])[0]
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(15 * time.Second):
+		t.Fatal("dvfsd never logged its listen address")
+	}
+
+	runCLI(t, "./cmd/dvfsload", "-addr", base, "-workload", "sha",
+		"-train", "-train-jobs", "60", "-jobs", "40", "-conns", "2")
+	// Let a few 1s blocks seal, then kill without ceremony: only
+	// fsynced records may survive, and they must be enough.
+	time.Sleep(3500 * time.Millisecond)
+	daemon.Process.Kill()
+	daemon.Wait()
+
+	out := runCLI(t, "./cmd/dvfstsdb", "-dir", storeDir)
+	if !strings.Contains(out, "go_goroutines") || strings.Contains(out, "samples    0") {
+		t.Fatalf("recovered store is empty or missing runtime metrics:\n%s", out)
+	}
+
+	out = runCLI(t, "./cmd/dvfstsdb", "-dir", storeDir,
+		"-query", "dvfsd_requests_total", "-labels", "route=predict", "-agg", "rate", "-step", "1s")
+	if !strings.Contains(out, "route=predict") {
+		t.Fatalf("query found no request history:\n%s", out)
+	}
+
+	out = runCLI(t, "./cmd/dvfstsdb", "-dir", storeDir, "-compact", "-keep", "24h")
+	if !strings.Contains(out, "compacted") {
+		t.Fatalf("compact failed:\n%s", out)
+	}
+	// Everything inside the keep horizon survives compaction.
+	out = runCLI(t, "./cmd/dvfstsdb", "-dir", storeDir, "-json")
+	var insp struct {
+		Stats struct {
+			Samples int64 `json:"samples"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(out), &insp); err != nil {
+		t.Fatalf("inspect -json: %v\n%s", err, out)
+	}
+	if insp.Stats.Samples == 0 {
+		t.Fatalf("compaction emptied the store:\n%s", out)
+	}
+}
+
+// dvfstsdb usage errors: a missing dir, bad aggregation, and bad
+// times are all user errors, not panics.
+func TestCLIDvfstsdbRejectsBadUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := failCLI(t, "./cmd/dvfstsdb", "-dir", "/nonexistent-tsdb-dir")
+	if !strings.Contains(out, "nonexistent-tsdb-dir") {
+		t.Errorf("missing-dir error:\n%s", out)
+	}
+	dir := t.TempDir()
+	out = failCLI(t, "./cmd/dvfstsdb", "-dir", dir, "-query", "m", "-agg", "median")
+	if !strings.Contains(out, "unknown aggregation") {
+		t.Errorf("bad agg error:\n%s", out)
+	}
+	out = failCLI(t, "./cmd/dvfstsdb", "-dir", dir, "-query", "m", "-from", "banana")
+	if !strings.Contains(out, "banana") {
+		t.Errorf("bad time error:\n%s", out)
 	}
 }

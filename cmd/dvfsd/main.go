@@ -14,7 +14,9 @@
 // filterable with ?workload=&since=&last=; dvfstrace -follow tails
 // it), POST /v1/fleet/ingest (fleet decision traces, JSONL or binary;
 // feeds per-device health scoring and keyed fleet SLO burn), GET
-// /v1/fleet (the fleet snapshot as JSON), GET /healthz, GET /metrics
+// /v1/fleet (the fleet snapshot as JSON), GET /v1/query (range queries
+// over the embedded telemetry history; see the -tsdb-* flags), GET
+// /healthz, GET /metrics
 // (Prometheus text format, including the fleet gauges), and — unless
 // -debug=false — GET /debug/decisions (recent decision events as
 // JSON, same filter params), GET /debug/slo (per-workload
@@ -45,6 +47,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/serve"
 	"repro/internal/trace"
+	"repro/internal/tsdb"
 	"repro/internal/workload"
 )
 
@@ -68,6 +71,10 @@ func main() {
 	fleetOn := flag.Bool("fleet", true, "serve fleet observability: POST /v1/fleet/ingest, GET /v1/fleet, and /debug/fleet")
 	fleetTopK := flag.Int("fleet-topk", 10, "worst devices surfaced by the fleet tracker")
 	fleetMaxIngest := flag.Int64("fleet-max-ingest", 0, "byte limit for /v1/fleet/ingest bodies (0 = 256 MiB)")
+	tsdbScrape := flag.Duration("tsdb-scrape", 5*time.Second, "telemetry history scrape interval (0 disables the embedded time-series store)")
+	tsdbDir := flag.String("tsdb-dir", "", "telemetry history directory (empty = in-memory only; dvfstsdb inspects it offline)")
+	tsdbRetention := flag.Duration("tsdb-retention", 6*time.Hour, "telemetry history retention (negative = keep forever)")
+	tsdbBlock := flag.Duration("tsdb-block", 10*time.Minute, "telemetry history block duration (crash-loss bound per series)")
 	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -92,8 +99,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *tsdbScrape < 0 || *tsdbBlock < 0 {
+		fmt.Fprintln(os.Stderr, "dvfsd: -tsdb-scrape and -tsdb-block must be non-negative")
+		flag.Usage()
+		os.Exit(2)
+	}
 	fleetCfg := fleetSettings{on: *fleetOn, topK: *fleetTopK, maxIngest: *fleetMaxIngest}
-	if err := run(*addr, *data, *platName, *workers, *queue, *maxInflight, *timeout, *seed, *preload, *tracePath, *debug, *sloTarget, *sloFast, *sloSlow, *streamQueue, *spanEvery, fleetCfg, log); err != nil {
+	tsdbCfg := tsdbSettings{scrape: *tsdbScrape, dir: *tsdbDir, retention: *tsdbRetention, block: *tsdbBlock}
+	if err := run(*addr, *data, *platName, *workers, *queue, *maxInflight, *timeout, *seed, *preload, *tracePath, *debug, *sloTarget, *sloFast, *sloSlow, *streamQueue, *spanEvery, fleetCfg, tsdbCfg, log); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsd:", err)
 		if errors.Is(err, errUsage) {
 			flag.Usage()
@@ -113,7 +126,15 @@ type fleetSettings struct {
 	maxIngest int64
 }
 
-func run(addr, data, platName string, workers, queue, maxInflight int, timeout time.Duration, seed int64, preload, tracePath string, debug bool, sloTarget float64, sloFast, sloSlow, streamQueue, spanEvery int, fleetCfg fleetSettings, log *slog.Logger) error {
+// tsdbSettings groups the telemetry-history flags.
+type tsdbSettings struct {
+	scrape    time.Duration // 0 disables the store entirely
+	dir       string        // "" = memory-only
+	retention time.Duration
+	block     time.Duration
+}
+
+func run(addr, data, platName string, workers, queue, maxInflight int, timeout time.Duration, seed int64, preload, tracePath string, debug bool, sloTarget float64, sloFast, sloSlow, streamQueue, spanEvery int, fleetCfg fleetSettings, tsdbCfg tsdbSettings, log *slog.Logger) error {
 	// Validate everything up front: a daemon must not come up half
 	// configured.
 	plat, err := platform.ByName(platName)
@@ -225,6 +246,29 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 		}
 	}
 
+	// Telemetry history: an embedded Gorilla-compressed store scraped
+	// from the shared registry. Opened before the server so GET
+	// /v1/query and the dashboard history windows can reach it; the
+	// scrape loop starts after the server exists because each tick also
+	// refreshes the sync-on-read gauges.
+	var store *tsdb.Store
+	if tsdbCfg.scrape > 0 {
+		store, err = tsdb.Open(tsdb.Options{
+			Dir:       tsdbCfg.dir,
+			BlockDur:  tsdbCfg.block,
+			Retention: tsdbCfg.retention,
+		})
+		if err != nil {
+			reg.Close()
+			return fmt.Errorf("opening telemetry store: %w", err)
+		}
+		defer func() {
+			if err := store.Close(); err != nil {
+				log.Error("closing telemetry store", "err", err)
+			}
+		}()
+	}
+
 	srv := serve.NewServer(reg, serve.ServerOptions{
 		Log:            log,
 		Metrics:        metrics,
@@ -238,7 +282,29 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 		Fleet:          fleetTracker,
 		FleetSLO:       fleetSLO,
 		MaxIngestBytes: fleetCfg.maxIngest,
+		History:        store,
 	})
+	if store != nil {
+		runtimeC := obs.NewRuntimeCollector(metrics.Registry())
+		scraper := tsdb.NewScraper(store, metrics.Registry(), tsdbCfg.scrape, func() {
+			runtimeC.Collect()
+			srv.SyncGauges()
+		})
+		scrapeCtx, scrapeStop := context.WithCancel(context.Background())
+		scrapeDone := make(chan struct{})
+		go func() {
+			scraper.Run(scrapeCtx)
+			close(scrapeDone)
+		}()
+		// Stop the scrape loop before the deferred store.Close seals the
+		// heads, so no tick lands on a closed disk log.
+		defer func() {
+			scrapeStop()
+			<-scrapeDone
+		}()
+		log.Info("telemetry history enabled", "interval", tsdbCfg.scrape.String(),
+			"dir", tsdbCfg.dir, "retention", tsdbCfg.retention.String())
+	}
 	for _, name := range preloads {
 		if _, _, err := reg.Train(name, serve.TrainConfig{Seed: seed}); err != nil {
 			return fmt.Errorf("preloading %s: %w", name, err)

@@ -229,33 +229,39 @@ func (h *Histogram) Count() int64 {
 func (h *Histogram) Quantile(p float64) float64 {
 	h.f.mu.Lock()
 	defer h.f.mu.Unlock()
-	if h.s.n == 0 {
+	return quantileFromCounts(h.f.bounds, h.s.counts, h.s.n, p)
+}
+
+// quantileFromCounts is the bucket walk behind Histogram.Quantile and
+// Registry.Scrape's histogram samples. Caller holds the family lock.
+func quantileFromCounts(bounds []float64, counts []int64, n int64, p float64) float64 {
+	if n == 0 {
 		return math.NaN()
 	}
-	rank := p * float64(h.s.n)
+	rank := p * float64(n)
 	cum := int64(0)
-	for i, c := range h.s.counts {
+	for i, c := range counts {
 		prev := cum
 		cum += c
 		if float64(cum) < rank {
 			continue
 		}
-		if i >= len(h.f.bounds) {
+		if i >= len(bounds) {
 			// +Inf bucket: the last finite bound is the best estimate.
-			return h.f.bounds[len(h.f.bounds)-1]
+			return bounds[len(bounds)-1]
 		}
 		lo := 0.0
 		if i > 0 {
-			lo = h.f.bounds[i-1]
+			lo = bounds[i-1]
 		}
-		hi := h.f.bounds[i]
+		hi := bounds[i]
 		if c == 0 {
 			return hi
 		}
 		frac := (rank - float64(prev)) / float64(c)
 		return lo + frac*(hi-lo)
 	}
-	return h.f.bounds[len(h.f.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // LogLinearBuckets returns histogram bounds spaced geometrically from

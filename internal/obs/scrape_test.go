@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+func TestScrapeDeterministicOrder(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("b_total", "b", "route").With("y").Inc()
+	reg.CounterVec("b_total", "b", "route").With("x").Inc()
+	reg.Gauge("a_gauge", "a").Set(1)
+
+	first := reg.Scrape(nil)
+	second := reg.Scrape(nil)
+	if len(first) != 3 || len(second) != 3 {
+		t.Fatalf("scrape sizes %d, %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].Name != second[i].Name || len(first[i].LabelValues) != len(second[i].LabelValues) {
+			t.Fatalf("scrape order unstable at %d: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	// Families sort by name, series by label value.
+	if first[0].Name != "a_gauge" || first[1].LabelValues[0] != "x" || first[2].LabelValues[0] != "y" {
+		t.Fatalf("unexpected order: %+v", first)
+	}
+}
+
+func TestScrapeHistogramSamples(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("exec_seconds", "exec", LogLinearBuckets(1e-4, 10, 5))
+
+	// Empty histogram: no quantile samples (they'd be NaN), but _count
+	// and _sum still scrape.
+	samples := reg.Scrape(nil)
+	if len(samples) != 2 {
+		t.Fatalf("empty histogram scraped %d samples, want _count and _sum", len(samples))
+	}
+
+	for i := 0; i < 100; i++ {
+		h.Observe(0.01 * float64(i%10+1))
+	}
+	samples = reg.Scrape(nil)
+	byName := map[string]ScrapeSample{}
+	quantiles := 0
+	for _, s := range samples {
+		if len(s.LabelNames) > 0 && s.LabelNames[len(s.LabelNames)-1] == "quantile" {
+			quantiles++
+			continue
+		}
+		byName[s.Name] = s
+	}
+	if quantiles != 3 {
+		t.Fatalf("%d quantile samples, want 3", quantiles)
+	}
+	if byName["exec_seconds_count"].Value != 100 {
+		t.Fatalf("_count = %v", byName["exec_seconds_count"].Value)
+	}
+	sum := byName["exec_seconds_sum"].Value
+	if math.Abs(sum-5.5) > 0.001 {
+		t.Fatalf("_sum = %v, want ≈5.5", sum)
+	}
+}
+
+func TestTruncMantissa(t *testing.T) {
+	// Keeps the value within the promised relative error and zeroes the
+	// low mantissa bits.
+	for _, v := range []float64{math.Pi, 1e-9, 12345.6789, 5.5} {
+		got := truncMantissa(v, quantileMantissaBits)
+		if rel := math.Abs(got-v) / v; rel > math.Pow(2, -quantileMantissaBits) {
+			t.Fatalf("truncMantissa(%v) = %v, relative error %v", v, got, rel)
+		}
+		if bits := math.Float64bits(got); bits&(1<<(52-quantileMantissaBits)-1) != 0 {
+			t.Fatalf("truncMantissa(%v) left low bits set: %016x", v, bits)
+		}
+	}
+	// Monotone: ordering survives truncation.
+	if truncMantissa(1.0000001, sumMantissaBits) > truncMantissa(1.0000002, sumMantissaBits) {
+		t.Fatal("truncation inverted an ordering")
+	}
+	// Exact values and specials pass through.
+	if truncMantissa(42, quantileMantissaBits) != 42 {
+		t.Fatal("integer mangled")
+	}
+	if !math.IsNaN(truncMantissa(math.NaN(), 12)) || !math.IsInf(truncMantissa(math.Inf(1), 12), 1) {
+		t.Fatal("specials mangled")
+	}
+}
+
+func TestRuntimeCollector(t *testing.T) {
+	reg := NewRegistry()
+	rc := NewRuntimeCollector(reg)
+	runtime.GC() // give the pause histogram something to report
+	rc.Collect()
+
+	samples := reg.Scrape(nil)
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.Name] = s.Value
+	}
+	if got["go_goroutines"] < 1 {
+		t.Fatalf("go_goroutines = %v", got["go_goroutines"])
+	}
+	if got["go_heap_bytes"] <= 0 {
+		t.Fatalf("go_heap_bytes = %v", got["go_heap_bytes"])
+	}
+	for _, s := range samples {
+		if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+			// The scrape consumer drops these, but the collector itself
+			// should already produce finite gauges.
+			t.Fatalf("%s{%v} is non-finite: %v", s.Name, s.LabelValues, s.Value)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"html"
 	"io"
 	"strings"
+	"time"
 )
 
 // HTMLPage builds a self-contained HTML report: inline CSS, inline
@@ -157,6 +158,117 @@ func (p *HTMLPage) Sparkline(title string, values []float64, format string) {
 	fmt.Fprintf(&p.body, "<span class=\"val\">"+format+"</span></div>\n", values[len(values)-1])
 }
 
+// NavLinks renders a row of links (the dashboards' history-window
+// selector). Each item is {href, text}; an item with an empty href is
+// the current selection and renders as plain emphasized text.
+func (p *HTMLPage) NavLinks(items [][2]string) {
+	p.body.WriteString("<p class=\"nav\">")
+	for i, it := range items {
+		if i > 0 {
+			p.body.WriteString(" · ")
+		}
+		if it[0] == "" {
+			fmt.Fprintf(&p.body, "<strong>%s</strong>", html.EscapeString(it[1]))
+		} else {
+			fmt.Fprintf(&p.body, "<a href=\"%s\">%s</a>",
+				html.EscapeString(it[0]), html.EscapeString(it[1]))
+		}
+	}
+	p.body.WriteString("</p>\n")
+}
+
+// TimeSeries draws an axis-labeled inline-SVG line chart — the
+// long-horizon sibling of Sparkline, made for telemetry history where
+// the time span matters as much as the shape. X carries the first,
+// middle, and last sample timestamps (UTC, HH:MM:SS); Y carries the
+// min/mid/max with gridlines; the latest value renders after the
+// title. timesMs are Unix milliseconds and must be in order. Pairs
+// with a non-finite value are skipped; empty or mismatched input
+// renders nothing.
+func (p *HTMLPage) TimeSeries(title string, timesMs []int64, vals []float64, format string) {
+	if len(timesMs) == 0 || len(timesMs) != len(vals) {
+		return
+	}
+	type pt struct {
+		t int64
+		v float64
+	}
+	pts := make([]pt, 0, len(vals))
+	for i, v := range vals {
+		if v != v || v > 1e300 || v < -1e300 {
+			continue
+		}
+		pts = append(pts, pt{timesMs[i], v})
+	}
+	if len(pts) == 0 {
+		return
+	}
+	minT, maxT := pts[0].t, pts[len(pts)-1].t
+	minV, maxV := pts[0].v, pts[0].v
+	for _, q := range pts {
+		if q.v < minV {
+			minV = q.v
+		}
+		if q.v > maxV {
+			maxV = q.v
+		}
+	}
+	const (
+		leftW  = 64 // y-axis label gutter
+		chartW = 480
+		chartH = 96
+		botH   = 16 // x-axis label strip
+		padY   = 4.0
+	)
+	w := leftW + chartW + 4
+	h := chartH + botH
+	spanT := float64(maxT - minT)
+	spanV := maxV - minV
+	x := func(t int64) float64 {
+		if spanT <= 0 {
+			return leftW + float64(chartW)/2
+		}
+		return leftW + float64(t-minT)/spanT*float64(chartW-2) + 1
+	}
+	y := func(v float64) float64 {
+		frac := 0.5
+		if spanV > 0 {
+			frac = (v - minV) / spanV
+		}
+		return padY + (1-frac)*(chartH-2*padY)
+	}
+	stamp := func(t int64) string {
+		return time.UnixMilli(t).UTC().Format("15:04:05")
+	}
+	fmt.Fprintf(&p.body, "<div class=\"tschart\"><h3>%s <span class=\"val\">"+format+"</span></h3>\n",
+		html.EscapeString(title), pts[len(pts)-1].v)
+	fmt.Fprintf(&p.body, "<svg width=\"%d\" height=\"%d\" role=\"img\">\n", w, h)
+	// Gridlines + y labels at max, mid, min.
+	for _, gv := range []float64{maxV, minV + spanV/2, minV} {
+		gy := y(gv)
+		fmt.Fprintf(&p.body, "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" class=\"grid\"/>",
+			leftW, gy, leftW+chartW, gy)
+		fmt.Fprintf(&p.body, "<text x=\"%d\" y=\"%.1f\" class=\"axis yl\">%.4g</text>\n",
+			leftW-6, gy+3, gv)
+	}
+	// X labels: first, middle, last sample timestamps (UTC).
+	fmt.Fprintf(&p.body, "<text x=\"%d\" y=\"%d\" class=\"axis\">%s</text>", leftW, h-3, stamp(minT))
+	if spanT > 0 {
+		fmt.Fprintf(&p.body, "<text x=\"%d\" y=\"%d\" class=\"axis xm\">%s</text>",
+			leftW+chartW/2, h-3, stamp(minT+(maxT-minT)/2))
+		fmt.Fprintf(&p.body, "<text x=\"%d\" y=\"%d\" class=\"axis xr\">%s</text>",
+			leftW+chartW, h-3, stamp(maxT))
+	}
+	p.body.WriteString("\n<polyline class=\"line\" points=\"")
+	for i, q := range pts {
+		if i > 0 {
+			p.body.WriteString(" ")
+		}
+		fmt.Fprintf(&p.body, "%.1f,%.1f", x(q.t), y(q.v))
+	}
+	p.body.WriteString("\"/></svg></div>\n")
+}
+
 // Band draws a quantile-band sparkline: a shaded region between the lo
 // and hi series with the mid series as a line — the fleet dashboard's
 // view of a distribution over time (e.g. residual p50–p99 with a p95
@@ -251,6 +363,15 @@ div.spark .val { font-size: 12px; color: #444; font-variant-numeric: tabular-num
 div.spark svg { background: #f7f8fa; border: 1px solid #eee; }
 svg .line { fill: none; stroke: #4a78b5; stroke-width: 1.5; }
 svg .band { fill: #4a78b5; opacity: .22; stroke: none; }
+p.nav { font-size: 13px; color: #666; }
+div.tschart { margin: .4rem 0 .8rem; }
+div.tschart h3 { margin: .2rem 0; }
+div.tschart svg { background: #f7f8fa; border: 1px solid #eee; }
+svg .grid { stroke: #e4e7eb; stroke-width: 1; }
+svg .axis { font-size: 10px; fill: #667; text-anchor: start; }
+svg .axis.yl { text-anchor: end; }
+svg .axis.xm { text-anchor: middle; }
+svg .axis.xr { text-anchor: end; }
 </style>
 </head>
 <body>

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/render"
+	"repro/internal/tsdb"
 )
 
 // dashWindow bounds how many ring events feed the dashboard's rolling
@@ -25,6 +26,11 @@ const (
 // read-only and cheap enough to leave unauthenticated on the debug
 // mux.
 func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
+	window, err := parseWindow(r.URL.Query().Get("window"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
 	p := render.NewHTMLPage("dvfsd operations")
 	p.RefreshSec = 5
 
@@ -56,6 +62,7 @@ func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
 
 	if len(events) == 0 {
 		p.Note("No decisions in the trace ring yet — send predictions (dvfsload, or POST /v1/predict) and this page fills in.")
+		s.historySection(p, "/debug/dash", window, dashHistoryCharts)
 		p.WriteTo(w)
 		return
 	}
@@ -63,6 +70,14 @@ func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
 
 	p.Section(fmt.Sprintf("Rolling window (last %d decisions)", len(events)))
 	p.Para("Workloads: " + strings.Join(rep.Workloads, ", "))
+	// The sparklines below are event-indexed (one point per decision,
+	// not per unit time), so name the wall-clock span they actually
+	// cover instead of implying a fixed window.
+	first := s.start.Add(time.Duration(events[0].TimeSec * float64(time.Second)))
+	last := s.start.Add(time.Duration(events[len(events)-1].TimeSec * float64(time.Second)))
+	p.Para(fmt.Sprintf("One point per decision; first sample %s, last sample %s (spanning %s).",
+		first.UTC().Format("15:04:05"), last.UTC().Format("15:04:05"),
+		last.Sub(first).Round(time.Second)))
 	p.Sparkline("miss rate", rollingMissRate(events, missWindow), "%.1f%%")
 	if rs := residualSeries(events); len(rs) > 0 {
 		p.Sparkline("residual", rs, "%+.3f ms")
@@ -138,7 +153,26 @@ func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	s.historySection(p, "/debug/dash", window, dashHistoryCharts)
 	p.WriteTo(w)
+}
+
+// dashHistoryCharts are the /debug/dash long-horizon panels, served
+// from the embedded telemetry store.
+var dashHistoryCharts = []historyChart{
+	{title: "requests/s", metric: "dvfsd_requests_total", agg: tsdb.AggRate, format: "%.2f/s"},
+	{title: "request p95", metric: "dvfsd_request_duration_seconds",
+		labels: []tsdb.Label{{Name: "quantile", Value: "0.95"}},
+		scale:  1e3, format: "%.3f ms"},
+	{title: "decisions/s", metric: "dvfsd_decisions_total", agg: tsdb.AggRate, format: "%.2f/s"},
+	{title: "goroutines", metric: "go_goroutines", format: "%.0f"},
+	{title: "heap", metric: "go_heap_bytes", scale: 1.0 / (1 << 20), format: "%.1f MiB"},
+	{title: "GC pause p99", metric: "go_gc_pause_seconds",
+		labels: []tsdb.Label{{Name: "quantile", Value: "0.99"}},
+		scale:  1e3, format: "%.3f ms"},
+	{title: "sched latency p99", metric: "go_sched_latency_seconds",
+		labels: []tsdb.Label{{Name: "quantile", Value: "0.99"}},
+		scale:  1e3, format: "%.3f ms"},
 }
 
 // rollingMissRate is the trailing-window deadline-miss percentage over

@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/trace"
+	"repro/internal/tsdb"
 )
 
 // fleetGauges are the Prometheus-exposed fleet aggregates, synced from
@@ -154,6 +155,11 @@ func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
 // hitter miss counts, and the fleet SLO burn table. Self-contained
 // HTML, auto-refreshing, read-only.
 func (s *Server) handleFleetDash(w http.ResponseWriter, r *http.Request) {
+	window, err := parseWindow(r.URL.Query().Get("window"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
 	p := render.NewHTMLPage("dvfsd fleet")
 	p.RefreshSec = 5
 	snap := s.fleet.Snapshot()
@@ -171,6 +177,7 @@ func (s *Server) handleFleetDash(w http.ResponseWriter, r *http.Request) {
 
 	if snap.Events == 0 {
 		p.Note("No fleet events ingested yet — POST a decision trace (JSONL or binary) to /v1/fleet/ingest and this page fills in.")
+		s.historySection(p, "/debug/fleet", window, fleetHistoryCharts)
 		p.WriteTo(w)
 		return
 	}
@@ -254,5 +261,21 @@ func (s *Server) handleFleetDash(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	s.historySection(p, "/debug/fleet", window, fleetHistoryCharts)
 	p.WriteTo(w)
+}
+
+// fleetHistoryCharts are the /debug/fleet long-horizon panels. The
+// fleet gauges are synced per telemetry-scrape tick (SyncGauges), so
+// these series move even when nobody polls /metrics.
+var fleetHistoryCharts = []historyChart{
+	{title: "fleet miss rate", metric: "dvfsd_fleet_miss_rate", scale: 100, format: "%.2f%%"},
+	{title: "ingested events/s", metric: "dvfsd_fleet_ingested_events_total",
+		agg: tsdb.AggRate, format: "%.1f/s"},
+	{title: "residual frac p95", metric: "dvfsd_fleet_residual_frac",
+		labels: []tsdb.Label{{Name: "q", Value: "0.95"}}, format: "%.3f"},
+	{title: "worst device score", metric: "dvfsd_fleet_worst_score", format: "%.3f"},
+	{title: "degraded devices", metric: "dvfsd_fleet_devices",
+		labels: []tsdb.Label{{Name: "class", Value: obs.ClassDegraded}},
+		agg:    tsdb.AggMax, format: "%.0f"},
 }

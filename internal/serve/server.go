@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tsdb"
 )
 
 // ServerOptions configures NewServer. The zero value of each field
@@ -60,6 +61,11 @@ type ServerOptions struct {
 	// MaxIngestBytes bounds /v1/fleet/ingest bodies, which are whole
 	// traces and dwarf normal API requests; 0 → 256 MiB.
 	MaxIngestBytes int64
+	// History, when non-nil, is the embedded telemetry store: GET
+	// /v1/query serves range queries over it, /metrics gains store
+	// gauges, and the debug dashboards grow ?window= history charts.
+	// The scrape loop feeding it lives in cmd/dvfsd, not here.
+	History *tsdb.Store
 	// EnableDebug mounts GET /debug/decisions (the tracer ring as
 	// JSON), GET /debug/dash (the operations dashboard), GET
 	// /debug/slo, and the net/http/pprof handlers under /debug/pprof/.
@@ -87,6 +93,9 @@ type Server struct {
 	fleetSLO  *obs.SLOTracker
 	fleetG    *fleetGauges
 	maxIngest int64
+
+	history  *tsdb.Store
+	historyG *tsdbGauges
 }
 
 // NewServer wires the HTTP API around a registry.
@@ -130,6 +139,8 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 		fleet:     opts.Fleet,
 		fleetSLO:  opts.FleetSLO,
 		maxIngest: opts.MaxIngestBytes,
+
+		history: opts.History,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -137,6 +148,12 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/models/{name}", s.guard("models_put", s.handleModelPut))
 	s.mux.HandleFunc("POST /v1/predict", s.guard("predict", s.handlePredict))
 	s.mux.HandleFunc("POST /v1/predict/batch", s.guard("predict_batch", s.handlePredictBatch))
+	// Mounted even without a store so clients get a JSON hint, not a
+	// bare 404, when history is disabled.
+	s.mux.HandleFunc("GET /v1/query", s.guard("query", s.handleQuery))
+	if opts.History != nil {
+		s.historyG = newTSDBGauges(s.metrics.Registry())
+	}
 	if opts.Fleet != nil {
 		s.fleetG = newFleetGauges(s.metrics.Registry())
 		// Traces are orders of magnitude larger than API requests, so
@@ -267,6 +284,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.SyncGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = s.metrics.WriteTo(w)
+}
+
+// SyncGauges refreshes every sync-on-read gauge (models ready, build
+// queue depth, model ages, ring drops, fleet aggregates, telemetry
+// store stats). /metrics calls it per scrape; the telemetry scrape
+// loop calls it per tick so history reflects the same state the
+// exposition would.
+func (s *Server) SyncGauges() {
 	s.metrics.SetModelsReady(s.reg.Ready())
 	s.metrics.SetQueueDepth(s.reg.QueueDepth())
 	for name, age := range s.reg.ModelAges(time.Now()) {
@@ -279,8 +307,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap := s.fleet.Snapshot()
 		s.fleetG.sync(&snap)
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = s.metrics.WriteTo(w)
+	if s.history != nil && s.historyG != nil {
+		s.historyG.sync(s.history.Stats())
+	}
 }
 
 // handleDecisions dumps the most recent decision events from the

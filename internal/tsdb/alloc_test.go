@@ -1,0 +1,50 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAppendZeroAlloc: the //dvfs:hotpath append fast path must not
+// allocate — the scrape loop runs beside the decision path and §3.4
+// charges every background cost against the jobs it observes. The
+// chunk is sized so no rotation happens inside the measured runs;
+// rotation allocates by design, once per block.
+func TestAppendZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	s := memStore(t, Options{Retention: -1, BlockDur: 1000 * time.Hour, ChunkBytes: 64 << 10})
+	sr := s.Series("m", Label{Name: "l", Value: "v"})
+	tms := int64(0)
+	sr.Append(tms, 0) // head buffer allocates off the clock
+	allocs := testing.AllocsPerRun(500, func() {
+		tms += 5000
+		sr.Append(tms, float64(tms%97))
+	})
+	if allocs != 0 {
+		t.Fatalf("Append allocated %.1f times per run", allocs)
+	}
+}
+
+// TestEncoderZeroAlloc: the codec itself writes into a caller buffer
+// and must never touch the heap.
+func TestEncoderZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	var e Encoder
+	buf := make([]byte, 1<<20)
+	e.Reset(buf)
+	tms := int64(0)
+	allocs := testing.AllocsPerRun(500, func() {
+		tms += 5000
+		if !e.Append(tms, float64(tms%89)+0.5) {
+			e.Reset(buf)
+			e.Append(tms, 0)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Encoder.Append allocated %.1f times per run", allocs)
+	}
+}

@@ -1,0 +1,350 @@
+// Package tsdb is an embedded time-series store for the daemon's own
+// telemetry: Gorilla-compressed chunks (delta-of-delta timestamps, XOR
+// float values) grouped into fixed-duration blocks, an in-memory head
+// per series, optional append-only disk persistence with crash-safe
+// recovery, per-series retention, and step-aligned min/max/mean/count
+// rollups at query time. It exists so "did p95 miss rate drift over
+// the last 6 hours?" has an answer after a restart — the long-horizon
+// signal the offline-train/online-predict split needs to detect model
+// staleness.
+//
+// The package is stdlib-only and the per-sample append path is
+// //dvfs:hotpath: scraping the registry must never perturb the
+// decision path it observes.
+package tsdb
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// Chunk wire layout: a 2-byte little-endian sample count followed by a
+// Gorilla bit stream.
+//
+// Timestamps (milliseconds) are delta-of-delta coded. The first sample
+// stores t and the raw IEEE-754 value bits in full (64+64). Every
+// later sample codes dod = (tₙ−tₙ₋₁) − (tₙ₋₁−tₙ₋₂) with the paper's
+// variable-length buckets (the previous delta starts at 0, so the
+// second sample pays one bucketed delta and a steady cadence costs one
+// bit per sample after that):
+//
+//	'0'                  dod == 0
+//	'10'   + 7 bits      dod ∈ [-63, 64]       (stored as dod+63)
+//	'110'  + 9 bits      dod ∈ [-255, 256]     (stored as dod+255)
+//	'1110' + 12 bits     dod ∈ [-2047, 2048]   (stored as dod+2047)
+//	'1111' + 64 bits     anything else (two's complement)
+//
+// Values XOR against the previous value's bits:
+//
+//	'0'                  xor == 0 (repeated value)
+//	'10'  + meaningful   xor fits the previous leading/trailing window
+//	'11'  + 5b leading + 6b sigbits (0 means 64) + sigbits of xor
+const (
+	chunkHeader = 2 // uint16 sample count, little endian
+
+	// maxSampleBits is the worst case for one sample: a 4+64-bit
+	// timestamp record plus a 2+5+6+64-bit value record (the first
+	// sample's 128 raw bits are below this too).
+	maxSampleBits = 4 + 64 + 2 + 5 + 6 + 64
+
+	// maxChunkSamples caps a chunk at what the uint16 header can count.
+	maxChunkSamples = 1<<16 - 1
+)
+
+// ErrCorrupt reports a chunk whose bit stream ends before the sample
+// count it declares, or that is too short to carry a header.
+var ErrCorrupt = errors.New("tsdb: corrupt or truncated chunk")
+
+// Encoder appends (timestamp, value) samples to a caller-provided
+// buffer in the Gorilla chunk format. It never grows the buffer:
+// Append reports false when the chunk is full (or the sample-count
+// header would overflow) and the caller seals the chunk and starts a
+// new one. Reset zeroes the buffer, so a rotated encoder reuses its
+// allocation.
+type Encoder struct {
+	buf  []byte
+	pos  int // bit cursor
+	n    int // samples encoded
+	t    int64
+	td   int64 // previous delta
+	v    uint64
+	lead uint8
+	tail uint8
+}
+
+// Reset points the encoder at buf (which must hold at least
+// chunkHeader+maxSampleBits/8+1 bytes), zeroing it.
+func (e *Encoder) Reset(buf []byte) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	e.buf = buf
+	e.pos = chunkHeader * 8
+	e.n = 0
+	e.t, e.td, e.v = 0, 0, 0
+	e.lead, e.tail = 0xff, 0
+}
+
+// Count returns the samples encoded so far.
+func (e *Encoder) Count() int { return e.n }
+
+// MinCap is the smallest buffer Reset accepts room for: header plus
+// one worst-case sample.
+const MinCap = chunkHeader + maxSampleBits/8 + 1
+
+// Bytes returns the encoded chunk: header plus every complete sample.
+func (e *Encoder) Bytes() []byte {
+	return e.buf[:(e.pos+7)/8]
+}
+
+// Append encodes one sample. It reports false — leaving the chunk
+// untouched — when the buffer cannot hold a worst-case sample or the
+// chunk is at its 65535-sample cap. Timestamps must arrive in strictly
+// increasing order; enforcing that is the caller's job (Series.Append
+// drops regressions), the codec itself round-trips any int64.
+//
+//dvfs:hotpath
+func (e *Encoder) Append(t int64, v float64) bool {
+	if e.n >= maxChunkSamples || len(e.buf)*8-e.pos < maxSampleBits {
+		return false
+	}
+	vb := math.Float64bits(v)
+	if e.n == 0 {
+		e.writeBits(uint64(t), 64)
+		e.writeBits(vb, 64)
+	} else {
+		delta := t - e.t
+		dod := delta - e.td
+		e.td = delta
+		switch {
+		case dod == 0:
+			e.writeBits(0, 1)
+		case dod >= -63 && dod <= 64:
+			e.writeBits(0b10, 2)
+			e.writeBits(uint64(dod+63), 7)
+		case dod >= -255 && dod <= 256:
+			e.writeBits(0b110, 3)
+			e.writeBits(uint64(dod+255), 9)
+		case dod >= -2047 && dod <= 2048:
+			e.writeBits(0b1110, 4)
+			e.writeBits(uint64(dod+2047), 12)
+		default:
+			e.writeBits(0b1111, 4)
+			e.writeBits(uint64(dod), 64)
+		}
+		e.writeValue(vb)
+	}
+	e.t = t
+	e.v = vb
+	e.n++
+	e.buf[0] = byte(e.n)
+	e.buf[1] = byte(e.n >> 8)
+	return true
+}
+
+//dvfs:hotpath
+func (e *Encoder) writeValue(vb uint64) {
+	xor := vb ^ e.v
+	if xor == 0 {
+		e.writeBits(0, 1)
+		return
+	}
+	lead := uint8(bits.LeadingZeros64(xor))
+	if lead > 31 {
+		// 5 bits of leading-zero count; clamping only costs bits.
+		lead = 31
+	}
+	tail := uint8(bits.TrailingZeros64(xor))
+	if e.lead != 0xff && lead >= e.lead && tail >= e.tail {
+		e.writeBits(0b10, 2)
+		e.writeBits(xor>>e.tail, 64-int(e.lead)-int(e.tail))
+		return
+	}
+	e.lead, e.tail = lead, tail
+	sig := 64 - int(lead) - int(tail)
+	e.writeBits(0b11, 2)
+	e.writeBits(uint64(lead), 5)
+	e.writeBits(uint64(sig)&0x3f, 6) // 64 significant bits encode as 0
+	e.writeBits(xor>>tail, sig)
+}
+
+// writeBits appends the low n bits of v, most significant first. The
+// caller has already reserved space (Append's worst-case check), so no
+// bounds test per bit.
+//
+//dvfs:hotpath
+func (e *Encoder) writeBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			e.buf[e.pos>>3] |= 1 << (7 - uint(e.pos&7))
+		}
+		e.pos++
+	}
+}
+
+// Iter decodes a Gorilla chunk sample by sample. It is safe on
+// arbitrary (corrupt, truncated, adversarial) input: every read is
+// bounds-checked, Next reports false at the first malformed record,
+// and Err distinguishes corruption from normal exhaustion.
+type Iter struct {
+	buf  []byte
+	pos  int
+	n    int // samples the header declares
+	read int
+	t    int64
+	td   int64
+	v    uint64
+	lead uint8
+	tail uint8
+	err  error
+}
+
+// NewIter reads the chunk header and positions the iterator before the
+// first sample.
+func NewIter(chunk []byte) *Iter {
+	it := &Iter{buf: chunk, pos: chunkHeader * 8, lead: 0xff}
+	if len(chunk) < chunkHeader {
+		it.err = ErrCorrupt
+		return it
+	}
+	it.n = int(chunk[0]) | int(chunk[1])<<8
+	return it
+}
+
+// Next advances to the next sample.
+func (it *Iter) Next() bool {
+	if it.err != nil || it.read >= it.n {
+		return false
+	}
+	if it.read == 0 {
+		tb, ok := it.readBits(64)
+		if !ok {
+			return false
+		}
+		vb, ok := it.readBits(64)
+		if !ok {
+			return false
+		}
+		it.t, it.v = int64(tb), vb
+		it.read++
+		return true
+	}
+	var dod int64
+	switch {
+	case !it.readBit():
+		dod = 0
+	case !it.readBit():
+		u, ok := it.readBits(7)
+		if !ok {
+			return false
+		}
+		dod = int64(u) - 63
+	case !it.readBit():
+		u, ok := it.readBits(9)
+		if !ok {
+			return false
+		}
+		dod = int64(u) - 255
+	case !it.readBit():
+		u, ok := it.readBits(12)
+		if !ok {
+			return false
+		}
+		dod = int64(u) - 2047
+	default:
+		u, ok := it.readBits(64)
+		if !ok {
+			return false
+		}
+		dod = int64(u)
+	}
+	if it.err != nil {
+		return false
+	}
+	it.td += dod
+	it.t += it.td
+
+	if it.readBit() {
+		if it.readBit() {
+			lead, ok := it.readBits(5)
+			if !ok {
+				return false
+			}
+			sig, ok := it.readBits(6)
+			if !ok {
+				return false
+			}
+			if sig == 0 {
+				sig = 64
+			}
+			if int(lead)+int(sig) > 64 {
+				it.err = ErrCorrupt
+				return false
+			}
+			it.lead = uint8(lead)
+			it.tail = uint8(64 - lead - sig)
+			xor, ok := it.readBits(int(sig))
+			if !ok {
+				return false
+			}
+			it.v ^= xor << it.tail
+		} else {
+			if it.lead == 0xff {
+				// A "reuse the previous window" record before any window
+				// was established.
+				it.err = ErrCorrupt
+				return false
+			}
+			sig := 64 - int(it.lead) - int(it.tail)
+			xor, ok := it.readBits(sig)
+			if !ok {
+				return false
+			}
+			it.v ^= xor << it.tail
+		}
+	}
+	if it.err != nil {
+		return false
+	}
+	it.read++
+	return true
+}
+
+// At returns the current sample.
+func (it *Iter) At() (int64, float64) { return it.t, math.Float64frombits(it.v) }
+
+// Err reports decoding corruption; nil after a clean exhaustion.
+func (it *Iter) Err() error { return it.err }
+
+func (it *Iter) readBit() bool {
+	if it.err != nil {
+		return false
+	}
+	if it.pos >= len(it.buf)*8 {
+		it.err = ErrCorrupt
+		return false
+	}
+	b := it.buf[it.pos>>3]&(1<<(7-uint(it.pos&7))) != 0
+	it.pos++
+	return b
+}
+
+func (it *Iter) readBits(n int) (uint64, bool) {
+	if it.err != nil {
+		return 0, false
+	}
+	if it.pos+n > len(it.buf)*8 {
+		it.err = ErrCorrupt
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v <<= 1
+		if it.buf[it.pos>>3]&(1<<(7-uint(it.pos&7))) != 0 {
+			v |= 1
+		}
+		it.pos++
+	}
+	return v, true
+}

@@ -1,0 +1,252 @@
+package tsdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip encodes every sample (growing chunks as needed) and
+// decodes them back, comparing timestamps exactly and values by their
+// IEEE-754 bits so NaN payloads and signed zeros must survive.
+func roundTrip(t *testing.T, ts []int64, vs []float64) {
+	t.Helper()
+	if len(ts) != len(vs) {
+		t.Fatalf("bad fixture: %d timestamps, %d values", len(ts), len(vs))
+	}
+	var chunks [][]byte
+	var e Encoder
+	buf := make([]byte, len(ts)*19+MinCap)
+	e.Reset(buf)
+	for i := range ts {
+		if !e.Append(ts[i], vs[i]) {
+			chunks = append(chunks, append([]byte(nil), e.Bytes()...))
+			e.Reset(buf)
+			if !e.Append(ts[i], vs[i]) {
+				t.Fatalf("append failed on a fresh chunk at sample %d", i)
+			}
+		}
+	}
+	if e.Count() > 0 {
+		chunks = append(chunks, append([]byte(nil), e.Bytes()...))
+	}
+
+	i := 0
+	for _, chunk := range chunks {
+		it := NewIter(chunk)
+		for it.Next() {
+			gt, gv := it.At()
+			if gt != ts[i] {
+				t.Fatalf("sample %d: timestamp %d, want %d", i, gt, ts[i])
+			}
+			if math.Float64bits(gv) != math.Float64bits(vs[i]) {
+				t.Fatalf("sample %d: value bits %016x (%v), want %016x (%v)",
+					i, math.Float64bits(gv), gv, math.Float64bits(vs[i]), vs[i])
+			}
+			i++
+		}
+		if it.Err() != nil {
+			t.Fatalf("decode error after %d samples: %v", i, it.Err())
+		}
+	}
+	if i != len(ts) {
+		t.Fatalf("decoded %d samples, want %d", i, len(ts))
+	}
+}
+
+func TestCodecRoundTripSpecialValues(t *testing.T) {
+	vs := []float64{
+		0, math.Copysign(0, -1), 1, -1,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64, // denormals
+		math.Float64frombits(0x000fffffffffffff), // largest denormal
+		math.MaxFloat64, -math.MaxFloat64,
+		math.Pi, 1e-300, 1e300,
+	}
+	ts := make([]int64, len(vs))
+	for i := range ts {
+		ts[i] = int64(i) * 5000
+	}
+	roundTrip(t, ts, vs)
+}
+
+func TestCodecRoundTripConstantSeries(t *testing.T) {
+	const n = 500
+	ts := make([]int64, n)
+	vs := make([]float64, n)
+	for i := range ts {
+		ts[i] = 1_700_000_000_000 + int64(i)*1000
+		vs[i] = 42.5
+	}
+	roundTrip(t, ts, vs)
+
+	// A steady cadence of a repeated value must approach 2 bits/sample.
+	var e Encoder
+	e.Reset(make([]byte, 4096))
+	for i := range ts {
+		if !e.Append(ts[i], vs[i]) {
+			t.Fatalf("chunk full at %d", i)
+		}
+	}
+	if got := len(e.Bytes()); got > chunkHeader+16+1+n/4+1 {
+		t.Fatalf("constant series used %d bytes for %d samples", got, n)
+	}
+}
+
+func TestCodecRoundTripCounterReset(t *testing.T) {
+	// A cumulative counter that resets to zero mid-series: monotone
+	// ramps with a discontinuity, the shape Agg rate must survive.
+	var ts []int64
+	var vs []float64
+	v := 0.0
+	for i := 0; i < 300; i++ {
+		if i == 150 {
+			v = 0 // process restart
+		}
+		v += float64(i%7) + 1
+		ts = append(ts, int64(i)*5000)
+		vs = append(vs, v)
+	}
+	roundTrip(t, ts, vs)
+}
+
+func TestCodecRoundTripIrregularTimestamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ts []int64
+	var vs []float64
+	tt := int64(-12345) // negative epochs must round-trip too
+	for i := 0; i < 400; i++ {
+		switch {
+		case i%97 == 0:
+			tt += rng.Int63n(1 << 40) // giant gap → 64-bit dod record
+		case i%13 == 0:
+			tt += rng.Int63n(5000)
+		default:
+			tt += 1000
+		}
+		ts = append(ts, tt)
+		vs = append(vs, rng.NormFloat64()*1e6)
+	}
+	roundTrip(t, ts, vs)
+}
+
+func TestCodecRoundTripRandomWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(300)
+		ts := make([]int64, n)
+		vs := make([]float64, n)
+		tt := rng.Int63n(1 << 50)
+		v := rng.NormFloat64()
+		for i := 0; i < n; i++ {
+			tt += 1 + rng.Int63n(10000)
+			v += rng.NormFloat64()
+			ts[i] = tt
+			vs[i] = v
+		}
+		roundTrip(t, ts, vs)
+	}
+}
+
+func TestEncoderFullChunkRejectsAppend(t *testing.T) {
+	var e Encoder
+	e.Reset(make([]byte, MinCap))
+	if !e.Append(0, 1) {
+		t.Fatal("first sample must fit in a MinCap buffer")
+	}
+	if e.Append(1000, math.Pi) {
+		t.Fatal("second worst-case sample cannot fit in MinCap; Append must report false")
+	}
+	if e.Count() != 1 {
+		t.Fatalf("rejected append mutated the count: %d", e.Count())
+	}
+	// The sealed chunk still decodes to exactly one sample.
+	it := NewIter(e.Bytes())
+	if !it.Next() {
+		t.Fatalf("sealed chunk lost its sample: %v", it.Err())
+	}
+	if it.Next() {
+		t.Fatal("decoded a phantom second sample")
+	}
+}
+
+func TestIterEmptyAndShortInput(t *testing.T) {
+	for _, chunk := range [][]byte{nil, {}, {1}} {
+		it := NewIter(chunk)
+		if it.Next() {
+			t.Fatalf("Next succeeded on %d-byte chunk", len(chunk))
+		}
+		if it.Err() == nil {
+			t.Fatalf("no error on %d-byte chunk", len(chunk))
+		}
+	}
+	// A valid empty chunk: header says zero samples.
+	it := NewIter([]byte{0, 0})
+	if it.Next() {
+		t.Fatal("Next succeeded on an empty chunk")
+	}
+	if it.Err() != nil {
+		t.Fatalf("empty chunk is not corrupt: %v", it.Err())
+	}
+}
+
+func TestIterTruncatedChunk(t *testing.T) {
+	var e Encoder
+	e.Reset(make([]byte, 4096))
+	for i := 0; i < 50; i++ {
+		e.Append(int64(i)*1000, float64(i)+0.25)
+	}
+	full := e.Bytes()
+	// Every truncation must either decode fewer samples or flag
+	// corruption — never panic, never invent samples.
+	for cut := 0; cut < len(full); cut++ {
+		it := NewIter(full[:cut])
+		n := 0
+		for it.Next() {
+			n++
+		}
+		if n > 50 {
+			t.Fatalf("truncated to %d bytes decoded %d samples", cut, n)
+		}
+		if n < 50 && it.Err() == nil {
+			t.Fatalf("truncated to %d bytes decoded %d samples with no error", cut, n)
+		}
+	}
+}
+
+// FuzzIterDecode hammers the decoder with arbitrary bytes: it must
+// never panic and never yield more samples than the header declares.
+func FuzzIterDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0xff, 0xff, 0x00})
+	var e Encoder
+	e.Reset(make([]byte, 1024))
+	for i := 0; i < 30; i++ {
+		e.Append(int64(i)*250, math.Sin(float64(i)))
+	}
+	f.Add(append([]byte(nil), e.Bytes()...))
+	e.Reset(make([]byte, 1024))
+	e.Append(-1, math.NaN())
+	e.Append(0, math.Inf(1))
+	f.Add(append([]byte(nil), e.Bytes()...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		it := NewIter(data)
+		declared := 0
+		if len(data) >= chunkHeader {
+			declared = int(data[0]) | int(data[1])<<8
+		}
+		n := 0
+		for it.Next() {
+			it.At()
+			n++
+			if n > declared {
+				t.Fatalf("decoded %d samples but header declares %d", n, declared)
+			}
+		}
+		if n < declared && it.Err() == nil {
+			t.Fatalf("stopped at %d of %d samples with no error", n, declared)
+		}
+	})
+}

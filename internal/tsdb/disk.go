@@ -1,0 +1,376 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Disk layout: opts.Dir holds numbered append-only segment files
+// ("00000001.tsb", ...). Each starts with an 8-byte magic and then
+// carries sealed-chunk records:
+//
+//	u32  crc32(IEEE) of everything after this field
+//	u32  body length
+//	body:
+//	  u16 metric length, metric bytes
+//	  u8  label count, then per label: u16 len + name, u16 len + value
+//	  i64 minT, i64 maxT (little endian)
+//	  u32 chunk length, chunk bytes (Gorilla, including its header)
+//
+// Records are the unit of commit: appendChunk writes and fsyncs one
+// record, so a crash can tear at most the record being written.
+// Recovery scans each segment in order, verifies every CRC, and
+// truncates the file at the first record that is short, oversized, or
+// checksum-broken — dropping the torn tail block and nothing else.
+// There is no separate index to corrupt: the index is rebuilt by the
+// replay scan.
+const (
+	diskMagic     = "DVFSTSB1"
+	recordHeader  = 8          // crc32 + body length
+	maxRecordBody = 1 << 24    // 16 MiB sanity cap on one record
+	segPattern    = "%08d.tsb" // numbered segment files
+)
+
+// diskLog appends sealed chunks to segment files and replays them on
+// open. One mutex serializes writers; appends happen at block seals
+// (rare), not per sample.
+type diskLog struct {
+	dir     string
+	maxSeg  int64
+	mu      sync.Mutex
+	f       *os.File
+	seq     int   // current segment number
+	size    int64 // bytes written to the current segment
+	maxT    int64 // newest sample in the current segment
+	history []segInfo
+	scratch []byte
+	// firstErr sticks the first persistence failure; surfaced by
+	// close() so a full disk degrades to memory-only, not a crash.
+	firstErr error
+}
+
+// segInfo remembers a closed segment so retention can unlink it
+// wholesale once every chunk in it has expired.
+type segInfo struct {
+	seq  int
+	path string
+	maxT int64
+	size int64
+}
+
+func openDiskLog(dir string, maxSeg int64) (*diskLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tsdb: creating %s: %w", dir, err)
+	}
+	return &diskLog{dir: dir, maxSeg: maxSeg}, nil
+}
+
+// segments lists existing segment files in numeric order.
+func (d *diskLog) segments() ([]segInfo, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segInfo
+	for _, e := range ents {
+		var seq int
+		if n, err := fmt.Sscanf(e.Name(), segPattern, &seq); n != 1 || err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segInfo{seq: seq, path: filepath.Join(d.dir, e.Name()), size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// replay scans every segment, invoking fn for each committed chunk,
+// and truncates a torn tail. After replay the log appends to a fresh
+// segment numbered past everything recovered.
+func (d *diskLog) replay(fn func(SeriesMeta, memChunk)) error {
+	segs, err := d.segments()
+	if err != nil {
+		return err
+	}
+	maxSeq := 0
+	for i := range segs {
+		seg := &segs[i]
+		if seg.seq > maxSeq {
+			maxSeq = seg.seq
+		}
+		if err := d.replaySegment(seg, fn); err != nil {
+			return err
+		}
+		d.history = append(d.history, *seg)
+	}
+	d.seq = maxSeq // openSegment picks seq+1
+	return nil
+}
+
+// replaySegment reads one file, truncating at the first bad record.
+func (d *diskLog) replaySegment(seg *segInfo, fn func(SeriesMeta, memChunk)) error {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return fmt.Errorf("tsdb: reading %s: %w", seg.path, err)
+	}
+	if len(data) < len(diskMagic) || string(data[:len(diskMagic)]) != diskMagic {
+		// Not a segment we wrote; a torn header means nothing was
+		// committed. Truncate to empty rather than guessing.
+		return d.truncate(seg, 0)
+	}
+	off := len(diskMagic)
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < recordHeader {
+			return d.truncate(seg, off)
+		}
+		crc := binary.LittleEndian.Uint32(rest)
+		blen := int(binary.LittleEndian.Uint32(rest[4:]))
+		if blen <= 0 || blen > maxRecordBody || recordHeader+blen > len(rest) {
+			return d.truncate(seg, off)
+		}
+		body := rest[recordHeader : recordHeader+blen]
+		if crc32.ChecksumIEEE(body) != crc {
+			return d.truncate(seg, off)
+		}
+		meta, c, err := decodeRecord(body)
+		if err != nil {
+			return d.truncate(seg, off)
+		}
+		fn(meta, c)
+		if c.maxT > seg.maxT {
+			seg.maxT = c.maxT
+		}
+		off += recordHeader + blen
+	}
+	return nil
+}
+
+// truncate commits a torn-tail repair: everything before off survives,
+// the tail is dropped. Records already replayed stay replayed.
+func (d *diskLog) truncate(seg *segInfo, off int) error {
+	if err := os.Truncate(seg.path, int64(off)); err != nil {
+		return fmt.Errorf("tsdb: truncating torn tail of %s: %w", seg.path, err)
+	}
+	seg.size = int64(off)
+	return nil
+}
+
+func decodeRecord(body []byte) (SeriesMeta, memChunk, error) {
+	var meta SeriesMeta
+	var c memChunk
+	r := reader{b: body}
+	meta.Metric = r.str16()
+	nl := int(r.u8())
+	for i := 0; i < nl && r.err == nil; i++ {
+		var l Label
+		l.Name = r.str16()
+		l.Value = r.str16()
+		meta.Labels = append(meta.Labels, l)
+	}
+	c.minT = int64(r.u64())
+	c.maxT = int64(r.u64())
+	chunk := r.bytes32()
+	if r.err != nil || len(r.b) != r.off {
+		return meta, c, ErrCorrupt
+	}
+	c.data = append([]byte(nil), chunk...)
+	it := NewIter(c.data)
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if it.Err() != nil {
+		return meta, c, it.Err()
+	}
+	c.count = n
+	return meta, c, nil
+}
+
+// reader is a bounds-checked cursor over a record body.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.err = ErrCorrupt
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) str16() string   { return string(r.take(int(r.u16()))) }
+func (r *reader) bytes32() []byte { return r.take(int(r.u32())) }
+
+// appendChunk writes one sealed chunk as a fsynced record. Errors are
+// recorded and surfaced by close(): telemetry persistence must never
+// take the daemon down mid-flight, and the in-memory copy still serves
+// queries.
+func (d *diskLog) appendChunk(meta SeriesMeta, c memChunk) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.appendLocked(meta, c); err != nil && d.firstErr == nil {
+		d.firstErr = err
+	}
+}
+
+func (d *diskLog) appendLocked(meta SeriesMeta, c memChunk) error {
+	if d.f == nil || d.size >= d.maxSeg {
+		if err := d.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	body := d.scratch[:0]
+	body = appendStr16(body, meta.Metric)
+	body = append(body, byte(len(meta.Labels)))
+	for _, l := range meta.Labels {
+		body = appendStr16(body, l.Name)
+		body = appendStr16(body, l.Value)
+	}
+	body = binary.LittleEndian.AppendUint64(body, uint64(c.minT))
+	body = binary.LittleEndian.AppendUint64(body, uint64(c.maxT))
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(c.data)))
+	body = append(body, c.data...)
+	d.scratch = body[:0]
+
+	var hdr [recordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(body)))
+	if _, err := d.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := d.f.Write(body); err != nil {
+		return err
+	}
+	if err := d.f.Sync(); err != nil {
+		return err
+	}
+	d.size += int64(recordHeader + len(body))
+	if c.maxT > d.maxT {
+		d.maxT = c.maxT
+	}
+	return nil
+}
+
+func appendStr16(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// rotateLocked closes the current segment and opens the next.
+func (d *diskLog) rotateLocked() error {
+	if d.f != nil {
+		d.history = append(d.history, segInfo{
+			seq: d.seq, path: d.f.Name(), maxT: d.maxT, size: d.size})
+		if err := d.f.Close(); err != nil {
+			return err
+		}
+		d.f = nil
+	}
+	d.seq++
+	path := filepath.Join(d.dir, fmt.Sprintf(segPattern, d.seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(diskMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	d.f = f
+	d.size = int64(len(diskMagic))
+	d.maxT = 0
+	return nil
+}
+
+// dropExpired unlinks closed segments whose newest sample is older
+// than cutoff. The open segment is never dropped; dvfstsdb compact
+// rewrites history for finer-grained reclamation.
+func (d *diskLog) dropExpired(cutoff int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, seg := range d.history {
+		if seg.maxT == 0 || seg.maxT >= cutoff {
+			d.history[n] = seg
+			n++
+			continue
+		}
+		if err := os.Remove(seg.path); err != nil && d.firstErr == nil {
+			d.firstErr = err
+		}
+	}
+	d.history = d.history[:n]
+}
+
+// stats reports segment count and total bytes (open + closed).
+func (d *diskLog) stats() (segments int, bytes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	segments = len(d.history)
+	for _, seg := range d.history {
+		bytes += seg.size
+	}
+	if d.f != nil {
+		segments++
+		bytes += d.size
+	}
+	return segments, bytes
+}
+
+func (d *diskLog) close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f != nil {
+		if err := d.f.Close(); err != nil && d.firstErr == nil {
+			d.firstErr = err
+		}
+		d.f = nil
+	}
+	return d.firstErr
+}

@@ -1,0 +1,103 @@
+package tsdb
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Scraper samples every counter, gauge, and histogram quantile in an
+// obs.Registry into a Store on a fixed interval, stamping each tick
+// with one wall-clock read so every series in a tick shares a
+// timestamp. It runs in its own goroutine, far from the decision path;
+// only the Store's append fast path is allocation-sensitive.
+type Scraper struct {
+	store    *Store
+	reg      *obs.Registry
+	interval time.Duration
+	// Collect, when non-nil, runs before each registry scrape — the
+	// runtime-metrics collector refreshes its gauges here so Go runtime
+	// health lands in the same tick.
+	collect func()
+
+	// cache maps a sample's identity to its series, so steady-state
+	// ticks skip the store's key-building lookup.
+	cache map[string]*Series
+	buf   []obs.ScrapeSample
+	key   []byte
+}
+
+// NewScraper wires a scraper; call Run to start it. collect may be
+// nil.
+func NewScraper(store *Store, reg *obs.Registry, interval time.Duration, collect func()) *Scraper {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	return &Scraper{
+		store:    store,
+		reg:      reg,
+		interval: interval,
+		collect:  collect,
+		cache:    map[string]*Series{},
+	}
+}
+
+// Run scrapes until ctx is canceled. The first tick fires immediately
+// so short-lived processes still leave history behind.
+func (sc *Scraper) Run(ctx context.Context) {
+	t := time.NewTicker(sc.interval)
+	defer t.Stop()
+	sc.Tick(time.Now())
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			sc.Tick(now)
+		}
+	}
+}
+
+// Tick performs one scrape stamped at now. Exposed so tests (and the
+// offline bench) can drive the loop with a synthetic clock.
+func (sc *Scraper) Tick(now time.Time) {
+	if sc.collect != nil {
+		sc.collect()
+	}
+	tMs := now.UnixMilli()
+	sc.buf = sc.reg.Scrape(sc.buf[:0])
+	for i := range sc.buf {
+		s := &sc.buf[i]
+		if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+			// Non-finite gauges (empty-histogram quantiles and the like)
+			// would poison XOR compression ratios and JSON responses.
+			continue
+		}
+		sc.seriesFor(s).Append(tMs, s.Value)
+	}
+}
+
+// seriesFor resolves a sample to its store series through the cache.
+func (sc *Scraper) seriesFor(s *obs.ScrapeSample) *Series {
+	k := sc.key[:0]
+	k = append(k, s.Name...)
+	for i := range s.LabelNames {
+		k = append(k, 0xff)
+		k = append(k, s.LabelNames[i]...)
+		k = append(k, 0x01)
+		k = append(k, s.LabelValues[i]...)
+	}
+	sc.key = k[:0]
+	if sr, ok := sc.cache[string(k)]; ok {
+		return sr
+	}
+	labels := make([]Label, len(s.LabelNames))
+	for i := range s.LabelNames {
+		labels[i] = Label{Name: s.LabelNames[i], Value: s.LabelValues[i]}
+	}
+	sr := sc.store.Series(s.Name, labels...)
+	sc.cache[string(k)] = sr
+	return sr
+}

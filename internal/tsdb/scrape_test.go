@@ -1,0 +1,121 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestScraperTickStoresEveryFamily(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctr := reg.CounterVec("jobs_total", "jobs", "route")
+	g := reg.Gauge("level", "level")
+	h := reg.Histogram("exec_seconds", "exec", obs.LogLinearBuckets(1e-4, 10, 5))
+
+	s := memStore(t, Options{Retention: -1})
+	sc := NewScraper(s, reg, time.Second, nil)
+
+	ctr.With("a").Inc()
+	g.Set(3)
+	h.Observe(0.02)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	sc.Tick(base)
+	ctr.With("a").Inc()
+	ctr.With("b").Inc()
+	g.Set(4)
+	sc.Tick(base.Add(5 * time.Second))
+
+	list := s.SeriesList()
+	want := map[string]bool{
+		"exec_seconds_count":         false,
+		"exec_seconds_sum":           false,
+		"exec_seconds{quantile=0.5}": false,
+		"jobs_total{route=a}":        false,
+		"jobs_total{route=b}":        false,
+		"level":                      false,
+	}
+	for _, m := range list {
+		if _, ok := want[m.Key()]; ok {
+			want[m.Key()] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Fatalf("series %s missing from %v", k, list)
+		}
+	}
+
+	// Both ticks share their timestamp; the counter accumulated.
+	res, err := s.Query(Query{Metric: "jobs_total",
+		Labels: []Label{{Name: "route", Value: "a"}}, FromMs: 0, ToMs: 1 << 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res[0].Points
+	if len(pts) != 2 {
+		t.Fatalf("jobs_total{route=a}: %d samples, want 2", len(pts))
+	}
+	if pts[0].T != base.UnixMilli() || pts[1].T != base.Add(5*time.Second).UnixMilli() {
+		t.Fatalf("tick timestamps %d, %d", pts[0].T, pts[1].T)
+	}
+	if pts[0].V != 1 || pts[1].V != 2 {
+		t.Fatalf("counter values %v, %v", pts[0].V, pts[1].V)
+	}
+}
+
+func TestScraperSkipsNonFinite(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("bad", "bad")
+	s := memStore(t, Options{Retention: -1})
+	sc := NewScraper(s, reg, time.Second, nil)
+
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	g.Set(math.NaN())
+	sc.Tick(base)
+	g.Set(math.Inf(1))
+	sc.Tick(base.Add(time.Second))
+	g.Set(7)
+	sc.Tick(base.Add(2 * time.Second))
+
+	pts := querySamples(t, s, "bad")
+	if len(pts) != 1 || pts[0].V != 7 {
+		t.Fatalf("non-finite samples stored: %+v", pts)
+	}
+}
+
+func TestScraperCollectRunsBeforeScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("synced", "synced")
+	s := memStore(t, Options{Retention: -1})
+	n := 0.0
+	sc := NewScraper(s, reg, time.Second, func() { n++; g.Set(n) })
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	sc.Tick(base)
+	sc.Tick(base.Add(time.Second))
+	pts := querySamples(t, s, "synced")
+	if len(pts) != 2 || pts[0].V != 1 || pts[1].V != 2 {
+		t.Fatalf("collect not observed by its own tick: %+v", pts)
+	}
+}
+
+func TestScraperCacheReusesSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.CounterVec("c", "c", "l").With("x").Inc()
+	s := memStore(t, Options{Retention: -1})
+	sc := NewScraper(s, reg, time.Second, nil)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	sc.Tick(base)
+	if len(sc.cache) == 0 {
+		t.Fatal("first tick populated no cache")
+	}
+	sr1 := sc.cache["c\xffl\x01x"]
+	sc.Tick(base.Add(time.Second))
+	if sc.cache["c\xffl\x01x"] != sr1 {
+		t.Fatal("steady-state tick rebuilt the series")
+	}
+	if len(s.SeriesList()) != 1 {
+		t.Fatalf("duplicate series created: %v", s.SeriesList())
+	}
+}
