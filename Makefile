@@ -1,7 +1,7 @@
 # Local mirror of .github/workflows/ci.yml: `make check` runs the
 # exact gate CI enforces.
 
-.PHONY: check fmt vet build test lint alloc-gate bench serve-bench obs-bench trace-smoke replay-smoke replay-bench dash-smoke fleet-smoke fleet-bench fleet-obs-smoke tsdb-smoke tsdb-bench
+.PHONY: check fmt vet build test lint alloc-gate bench serve-bench obs-bench trace-smoke replay-smoke replay-bench dash-smoke fleet-smoke fleet-bench fleet-obs-smoke tsdb-smoke tsdb-bench alert-smoke
 
 check: fmt vet build test lint alloc-gate
 
@@ -27,6 +27,7 @@ alloc-gate:
 	go test -count=1 -run 'TestSpanCaptureZeroAlloc|TestFeatureHashZeroAlloc|TestSketchAddZeroAlloc|TestHeavyHittersZeroAlloc' ./internal/obs
 	go test -count=1 -run 'TestBinaryEncodeZeroAlloc' ./internal/trace
 	go test -count=1 -run 'TestAppendZeroAlloc|TestEncoderZeroAlloc' ./internal/tsdb
+	go test -count=1 -run 'TestEnergyMeterZeroAlloc' ./internal/alert
 
 build:
 	go build ./...
@@ -280,6 +281,78 @@ tsdb-smoke:
 	./bin/dvfstsdb -dir $$dir/tsdb | grep -q 'go_goroutines' \
 		|| { echo "tsdb-smoke: offline recovery found no history"; exit 1; }; \
 	echo "tsdb-smoke: query API, dashboard history, and crash recovery all live"; \
+	rm -rf $$dir; exit 0
+
+# Alerting smoke: boot dvfsd with a fast scrape, an energy budget, and
+# a crash-safe incident journal; ingest fleet events with inflated
+# residuals until the built-in model_stale rule fires, check the
+# /v1/alerts snapshot, the /debug/alerts incident timeline, the
+# firing-span overlay on the dashboard history charts, and the
+# alert/energy Prometheus metrics; then ingest healthy events until
+# the alert resolves and the incident closes; finally assert the
+# journal recorded both transitions.
+ALERT_ADDR ?= 127.0.0.1:8097
+
+alert-smoke:
+	go build -o bin/dvfsd ./cmd/dvfsd
+	@python3 -c "import json; \
+	base = {'workload': 'sha', 'device': 'd0', 'platform': 'a7', 'predicted': True, \
+	        'level': 2, 'from_level': 2, 'predicted_exec_sec': 0.04, \
+	        'predictor_sec': 0.001, 'done': True}; \
+	bad = [dict(base, seq=i + 1, job=i, time_sec=round(0.1 * i, 3), \
+	            actual_exec_sec=0.05, residual_sec=0.01) for i in range(120)]; \
+	good = [dict(base, seq=121 + i, job=120 + i, time_sec=round(12.0 + 0.1 * i, 3), \
+	             actual_exec_sec=0.04, residual_sec=-0.001) for i in range(420)]; \
+	open('/tmp/alert-bad.jsonl', 'w').write(''.join(json.dumps(e) + chr(10) for e in bad)); \
+	open('/tmp/alert-good.jsonl', 'w').write(''.join(json.dumps(e) + chr(10) for e in good))"
+	@dir=$$(mktemp -d); \
+	./bin/dvfsd -addr $(ALERT_ADDR) -tsdb-scrape 100ms -energy-budget 0.001 \
+		-incident-log $$dir/incidents.jsonl & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; rm -rf $$dir' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://$(ALERT_ADDR)/healthz > /dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	curl -fsS --data-binary @/tmp/alert-bad.jsonl http://$(ALERT_ADDR)/v1/fleet/ingest > /dev/null \
+		|| { echo "alert-smoke: bad-residual ingest failed"; exit 1; }; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://$(ALERT_ADDR)/v1/alerts | grep -q '"state":"firing"' && break; sleep 0.1; \
+	done; \
+	curl -fsS http://$(ALERT_ADDR)/v1/alerts | python3 -c "import json, sys; \
+	s = json.load(sys.stdin); \
+	assert any(a['rule'] == 'model_stale' and a['state'] == 'firing' for a in s['active']), s['active']; \
+	assert any(i['rule'] == 'model_stale' and not i.get('end_ms') for i in s['incidents']), s['incidents']; \
+	assert any(r['name'] == 'energy_budget_burn' for r in s['rules']), s['rules']" \
+		|| { echo "alert-smoke: model_stale did not fire"; exit 1; }; \
+	curl -fsS http://$(ALERT_ADDR)/debug/alerts > /tmp/alert-dash.html; \
+	grep -q 'model_stale' /tmp/alert-dash.html && grep -q 'Incidents' /tmp/alert-dash.html \
+		|| { echo "alert-smoke: /debug/alerts missing the incident timeline"; exit 1; }; \
+	curl -fsS http://$(ALERT_ADDR)/metrics > /tmp/alert-metrics.txt; \
+	grep -q 'dvfsd_alerts_firing' /tmp/alert-metrics.txt \
+		&& grep -q 'dvfsd_energy_joules_total' /tmp/alert-metrics.txt \
+		|| { echo "alert-smoke: alert/energy metrics missing"; exit 1; }; \
+	for i in $$(seq 1 100); do \
+		curl -fsS "http://$(ALERT_ADDR)/debug/dash?window=15m" | grep -q 'class="firing"' && break; sleep 0.1; \
+	done; \
+	curl -fsS "http://$(ALERT_ADDR)/debug/dash?window=15m" | grep -q 'class="firing"' \
+		|| { echo "alert-smoke: no firing-span overlay on the history charts"; exit 1; }; \
+	curl -fsS --data-binary @/tmp/alert-good.jsonl http://$(ALERT_ADDR)/v1/fleet/ingest > /dev/null \
+		|| { echo "alert-smoke: healthy ingest failed"; exit 1; }; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://$(ALERT_ADDR)/v1/alerts | python3 -c "import json, sys; \
+	s = json.load(sys.stdin); \
+	ok = not any(a['rule'] == 'model_stale' and a['state'] == 'firing' for a in s['active']) \
+	     and any(i['rule'] == 'model_stale' and i.get('end_ms') for i in s['incidents']); \
+	sys.exit(0 if ok else 1)" && break; sleep 0.1; \
+	done; \
+	curl -fsS http://$(ALERT_ADDR)/v1/alerts | python3 -c "import json, sys; \
+	s = json.load(sys.stdin); \
+	assert not any(a['rule'] == 'model_stale' and a['state'] == 'firing' for a in s['active']), s['active']; \
+	assert any(i['rule'] == 'model_stale' and i.get('end_ms') for i in s['incidents']), s['incidents']" \
+		|| { echo "alert-smoke: model_stale did not resolve"; exit 1; }; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	grep -q '"to":"firing"' $$dir/incidents.jsonl && grep -q '"to":"resolved"' $$dir/incidents.jsonl \
+		|| { echo "alert-smoke: incident journal missing transitions"; exit 1; }; \
+	echo "alert-smoke: fire, timeline, overlay, resolve, and journal all live"; \
 	rm -rf $$dir; exit 0
 
 # Telemetry-store benchmark: simulate a decision trace, replay it

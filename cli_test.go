@@ -6,13 +6,17 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/taskir"
 )
 
@@ -799,5 +803,81 @@ func TestCLIDvfstsdbRejectsBadUsage(t *testing.T) {
 	out = failCLI(t, "./cmd/dvfstsdb", "-dir", dir, "-query", "m", "-from", "banana")
 	if !strings.Contains(out, "banana") {
 		t.Errorf("bad time error:\n%s", out)
+	}
+}
+
+// TestCLIDvfstraceFollowReconnects tails an SSE server that drops the
+// connection every few events: the follower must reconnect with
+// Last-Event-ID, resume without double-counting, and report every
+// event exactly once.
+func TestCLIDvfstraceFollowReconnects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	const total = 9
+	var mu sync.Mutex
+	var resumeIDs []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		resumeIDs = append(resumeIDs, r.Header.Get("Last-Event-ID"))
+		id := r.Header.Get("Last-Event-ID")
+		mu.Unlock()
+		after := uint64(0)
+		if id != "" {
+			after, _ = strconv.ParseUint(id, 10, 64)
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		sent := 0
+		for seq := after + 1; seq <= total; seq++ {
+			obs.WriteSSE(w, &obs.DecisionEvent{
+				Seq: seq, Workload: "sha", Governor: "serve",
+				TimeSec: float64(seq) * 0.01, Level: 3,
+				Predicted: true, PredictedExecSec: 0.001,
+			})
+			sent++
+			if sent == 3 {
+				return // drop mid-stream; the client should come back
+			}
+		}
+	}))
+	defer srv.Close()
+
+	out := runCLI(t, "./cmd/dvfstrace",
+		"-follow", srv.URL+"/v1/events",
+		"-follow-max", "9", "-follow-every", "0",
+		"-follow-backoff", "1ms", "-format", "json")
+	if !strings.Contains(out, "reconnecting") {
+		t.Errorf("no reconnect notice on stderr:\n%s", out)
+	}
+	if !strings.Contains(out, "stream ended after 9 events") {
+		t.Errorf("events dropped or doubled across reconnects:\n%s", out)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(resumeIDs) != 3 || resumeIDs[0] != "" || resumeIDs[1] != "3" || resumeIDs[2] != "6" {
+		t.Errorf("Last-Event-ID per connection = %q, want [\"\" 3 6]", resumeIDs)
+	}
+}
+
+// TestCLIDvfstraceFollowNoRetryExitsOnDrop pins -follow-retries 0: the
+// old single-shot behavior stays available.
+func TestCLIDvfstraceFollowNoRetryExitsOnDrop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	conns := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns++
+		w.Header().Set("Content-Type", "text/event-stream")
+		obs.WriteSSE(w, &obs.DecisionEvent{Seq: 1, Workload: "sha"})
+	}))
+	defer srv.Close()
+	out := runCLI(t, "./cmd/dvfstrace",
+		"-follow", srv.URL+"/v1/events", "-follow-retries", "0", "-follow-every", "0")
+	if conns != 1 {
+		t.Errorf("connections = %d, want 1 with retries disabled", conns)
+	}
+	if strings.Contains(out, "reconnecting") {
+		t.Errorf("unexpected reconnect with -follow-retries 0:\n%s", out)
 	}
 }

@@ -16,14 +16,16 @@
 // feeds per-device health scoring and keyed fleet SLO burn), GET
 // /v1/fleet (the fleet snapshot as JSON), GET /v1/query (range queries
 // over the embedded telemetry history; see the -tsdb-* flags), GET
+// /v1/alerts (live alert state and the incident history; see -alerts,
+// -rules, -incident-log, -alert-webhook, -energy-budget), GET
 // /healthz, GET /metrics
 // (Prometheus text format, including the fleet gauges), and — unless
 // -debug=false — GET /debug/decisions (recent decision events as
 // JSON, same filter params), GET /debug/slo (per-workload
 // deadline-miss burn rates), GET /debug/dash (self-contained
 // auto-refreshing HTML operations dashboard), GET /debug/fleet (the
-// fleet health dashboard) plus the net/http/pprof handlers under
-// /debug/pprof/.
+// fleet health dashboard), GET /debug/alerts (the incident timeline)
+// plus the net/http/pprof handlers under /debug/pprof/.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener drains
 // in-flight requests, then the registry drains in-flight builds.
@@ -43,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/serve"
@@ -75,6 +78,11 @@ func main() {
 	tsdbDir := flag.String("tsdb-dir", "", "telemetry history directory (empty = in-memory only; dvfstsdb inspects it offline)")
 	tsdbRetention := flag.Duration("tsdb-retention", 6*time.Hour, "telemetry history retention (negative = keep forever)")
 	tsdbBlock := flag.Duration("tsdb-block", 10*time.Minute, "telemetry history block duration (crash-loss bound per series)")
+	alertsOn := flag.Bool("alerts", true, "evaluate alert rules on each telemetry scrape tick (needs -tsdb-scrape > 0)")
+	rulesPath := flag.String("rules", "", "alert rules file (JSON), merged with the built-in rules")
+	incidentLog := flag.String("incident-log", "", "append-only incident journal, replayed on restart so firing alerts survive a crash")
+	alertWebhook := flag.String("alert-webhook", "", "POST firing/resolved alert transitions to this URL (retried with backoff)")
+	energyBudget := flag.Float64("energy-budget", 0, "average-power budget in watts for energy-burn tracking (0 disables)")
 	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -104,9 +112,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *energyBudget < 0 {
+		fmt.Fprintln(os.Stderr, "dvfsd: -energy-budget must be non-negative")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if (*rulesPath != "" || *incidentLog != "" || *alertWebhook != "") && (!*alertsOn || *tsdbScrape == 0) {
+		fmt.Fprintln(os.Stderr, "dvfsd: -rules, -incident-log, and -alert-webhook need -alerts and -tsdb-scrape > 0 (rules evaluate over the telemetry store)")
+		flag.Usage()
+		os.Exit(2)
+	}
 	fleetCfg := fleetSettings{on: *fleetOn, topK: *fleetTopK, maxIngest: *fleetMaxIngest}
 	tsdbCfg := tsdbSettings{scrape: *tsdbScrape, dir: *tsdbDir, retention: *tsdbRetention, block: *tsdbBlock}
-	if err := run(*addr, *data, *platName, *workers, *queue, *maxInflight, *timeout, *seed, *preload, *tracePath, *debug, *sloTarget, *sloFast, *sloSlow, *streamQueue, *spanEvery, fleetCfg, tsdbCfg, log); err != nil {
+	alertCfg := alertSettings{on: *alertsOn, rules: *rulesPath, incidentLog: *incidentLog, webhook: *alertWebhook, budgetW: *energyBudget}
+	if err := run(*addr, *data, *platName, *workers, *queue, *maxInflight, *timeout, *seed, *preload, *tracePath, *debug, *sloTarget, *sloFast, *sloSlow, *streamQueue, *spanEvery, fleetCfg, tsdbCfg, alertCfg, log); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsd:", err)
 		if errors.Is(err, errUsage) {
 			flag.Usage()
@@ -134,7 +153,16 @@ type tsdbSettings struct {
 	block     time.Duration
 }
 
-func run(addr, data, platName string, workers, queue, maxInflight int, timeout time.Duration, seed int64, preload, tracePath string, debug bool, sloTarget float64, sloFast, sloSlow, streamQueue, spanEvery int, fleetCfg fleetSettings, tsdbCfg tsdbSettings, log *slog.Logger) error {
+// alertSettings groups the alerting and energy-metering flags.
+type alertSettings struct {
+	on          bool
+	rules       string  // "" = built-ins only
+	incidentLog string  // "" = no crash-safe journal
+	webhook     string  // "" = slog only
+	budgetW     float64 // 0 = no burn tracking
+}
+
+func run(addr, data, platName string, workers, queue, maxInflight int, timeout time.Duration, seed int64, preload, tracePath string, debug bool, sloTarget float64, sloFast, sloSlow, streamQueue, spanEvery int, fleetCfg fleetSettings, tsdbCfg tsdbSettings, alertCfg alertSettings, log *slog.Logger) error {
 	// Validate everything up front: a daemon must not come up half
 	// configured.
 	plat, err := platform.ByName(platName)
@@ -181,6 +209,16 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 		})
 		sinks = append(sinks, stream)
 	}
+	// Online energy metering: every traced decision accrues modeled
+	// joules per (workload, device) stream — the live counterpart of
+	// dvfsreplay's offline reconstruction. The meter is a tracer sink
+	// for this daemon's own decisions; fleet-ingested events reach it
+	// through the server.
+	energy := alert.NewEnergyMeter(alert.EnergyConfig{
+		Platform: plat,
+		BudgetW:  alertCfg.budgetW,
+	})
+	sinks = append(sinks, energy)
 	// SLO burn-rate tracking: every completed decision event feeds a
 	// per-workload deadline-miss SLO with fast/slow burn-rate windows;
 	// burn rates and the alert bit land on the shared /metrics page and
@@ -269,6 +307,48 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 		}()
 	}
 
+	// Declarative alerting: rules (built-ins plus an optional -rules
+	// file) evaluate range queries over the telemetry store at the end
+	// of every scrape tick, driving a pending→firing→resolved state
+	// machine with notifications and a crash-safe incident journal.
+	var engine *alert.Engine
+	if store != nil && alertCfg.on {
+		rules := alert.BuiltinRules(alert.BuiltinOptions{
+			Scrape:       tsdbCfg.scrape,
+			EnergyBudget: alertCfg.budgetW > 0,
+		})
+		if alertCfg.rules != "" {
+			extra, err := alert.LoadRules(alertCfg.rules)
+			if err != nil {
+				reg.Close()
+				return fmt.Errorf("%w: -rules: %v", errUsage, err)
+			}
+			rules = append(rules, extra...)
+		}
+		notifiers := []alert.Notifier{&alert.SlogNotifier{Log: log}}
+		if alertCfg.webhook != "" {
+			notifiers = append(notifiers, alert.NewWebhookNotifier(alertCfg.webhook, alert.WebhookOptions{Log: log}))
+		}
+		engine, err = alert.New(alert.Config{
+			Querier:     store,
+			Rules:       rules,
+			Notifiers:   notifiers,
+			IncidentLog: alertCfg.incidentLog,
+			Log:         log,
+		})
+		if err != nil {
+			reg.Close()
+			return fmt.Errorf("alert engine: %w", err)
+		}
+		defer func() {
+			if err := engine.Close(); err != nil {
+				log.Error("closing alert engine", "err", err)
+			}
+		}()
+		log.Info("alerting enabled", "rules", len(rules),
+			"incident_log", alertCfg.incidentLog, "webhook", alertCfg.webhook != "")
+	}
+
 	srv := serve.NewServer(reg, serve.ServerOptions{
 		Log:            log,
 		Metrics:        metrics,
@@ -283,6 +363,9 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 		FleetSLO:       fleetSLO,
 		MaxIngestBytes: fleetCfg.maxIngest,
 		History:        store,
+		Alerts:         engine,
+		Energy:         energy,
+		Drift:          drift,
 	})
 	if store != nil {
 		runtimeC := obs.NewRuntimeCollector(metrics.Registry())
@@ -290,6 +373,11 @@ func run(addr, data, platName string, workers, queue, maxInflight int, timeout t
 			runtimeC.Collect()
 			srv.SyncGauges()
 		})
+		if engine != nil {
+			// Rules evaluate after the tick's samples land, so each
+			// evaluation sees the state it just scraped.
+			scraper.After = engine.Eval
+		}
 		scrapeCtx, scrapeStop := context.WithCancel(context.Background())
 		scrapeDone := make(chan struct{})
 		go func() {

@@ -53,6 +53,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -70,6 +71,8 @@ func main() {
 	follow := flag.String("follow", "", "tail a live dvfsd /v1/events URL instead of reading a log")
 	followMax := flag.Int("follow-max", 0, "stop -follow after this many events (0 = until the stream ends)")
 	followEvery := flag.Int("follow-every", 25, "print a rolling summary every N followed events (0 disables)")
+	followRetries := flag.Int("follow-retries", 5, "reconnect a dropped -follow stream up to this many consecutive failures, resuming via Last-Event-ID (0 disables, -1 retries forever)")
+	followBackoff := flag.Duration("follow-backoff", 500*time.Millisecond, "base delay between -follow reconnect attempts (doubled per failure, jittered)")
 	format := flag.String("format", "text", "output format: text or json")
 	byDevice := flag.Int("by-device", 0, "report per-device fleet health instead: top-N worst devices (0 disables)")
 	var filter obs.EventFilter
@@ -106,6 +109,12 @@ func main() {
 	if *followMax < 0 || *followEvery < 0 {
 		usageErr(fmt.Errorf("-follow-max and -follow-every must be non-negative"))
 	}
+	if *followRetries < -1 {
+		usageErr(fmt.Errorf("-follow-retries must be -1, 0, or positive"))
+	}
+	if *followBackoff <= 0 {
+		usageErr(fmt.Errorf("-follow-backoff must be positive"))
+	}
 	if *byDevice < 0 {
 		usageErr(fmt.Errorf("-by-device must be non-negative"))
 	}
@@ -113,7 +122,7 @@ func main() {
 		usageErr(fmt.Errorf("-by-device is mutually exclusive with -convert and -follow"))
 	}
 	if *follow != "" {
-		if err := runFollow(*follow, filter, *followMax, *followEvery, *format); err != nil {
+		if err := runFollow(*follow, filter, *followMax, *followEvery, *followRetries, *followBackoff, *format); err != nil {
 			fmt.Fprintln(os.Stderr, "dvfstrace:", err)
 			os.Exit(1)
 		}
@@ -183,13 +192,28 @@ func writeReport(events []obs.DecisionEvent, format string) error {
 
 // runFollow tails a live decision stream, keeping the last
 // followWindow events for the rolling summaries and the final report.
-func runFollow(url string, filter obs.EventFilter, max, every int, format string) error {
+// A dropped stream reconnects with backoff (unless retries is 0),
+// resuming from the last seen sequence so no decision is double-counted.
+func runFollow(url string, filter obs.EventFilter, max, every, retries int, backoff time.Duration, format string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	opts := obs.FollowOptions{Filter: filter, Max: max, BackoffBase: backoff}
+	if retries != 0 {
+		opts.Reconnect = true
+		opts.MaxRetries = retries
+		opts.OnRetry = func(attempt int, lastSeq uint64, err error, delay time.Duration) {
+			reason := "stream closed"
+			if err != nil {
+				reason = err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "dvfstrace: %s; reconnecting in %s (attempt %d, resume after seq %d)\n",
+				reason, delay.Round(time.Millisecond), attempt, lastSeq)
+		}
+	}
 	var window []obs.DecisionEvent
 	total := 0
-	err := obs.Follow(ctx, url, obs.FollowOptions{Filter: filter, Max: max}, func(e obs.DecisionEvent) error {
+	err := obs.Follow(ctx, url, opts, func(e obs.DecisionEvent) error {
 		window = append(window, e)
 		if len(window) > followWindow {
 			window = append(window[:0], window[len(window)-followWindow:]...)

@@ -1,0 +1,32 @@
+package alert
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+// TestEnergyMeterZeroAlloc gates the per-decision metering hot path:
+// after the first event builds the stream, pricing a decision must not
+// allocate. Run by `make alloc-gate`.
+func TestEnergyMeterZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under -race")
+	}
+	m := NewEnergyMeter(EnergyConfig{Platform: platform.ODROIDXU3A7(), BudgetW: 2})
+	e := &obs.DecisionEvent{
+		Workload: "sha", Device: "d0",
+		FromLevel: 2, Level: 4,
+		PredictorSec: 0.0001, SwitchSec: 0.001,
+		Done: true, ActualExecSec: 0.01,
+	}
+	m.Emit(e) // first event allocates the stream; the steady state must not
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.TimeSec += 0.02
+		m.Emit(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("EnergyMeter.Emit allocated %.1f/op, want 0", allocs)
+	}
+}

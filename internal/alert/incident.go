@@ -1,0 +1,77 @@
+package alert
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// incidentLog is the crash-safe transition journal: append-only JSONL,
+// fsynced per transition (transitions are rare — human-timescale
+// events, not decisions), replayed on open. A torn final line from a
+// crash mid-write is skipped, not fatal.
+type incidentLog struct {
+	f *os.File
+}
+
+// openIncidentLog opens (creating parents) and replays the journal.
+// It returns the log ready for appends, the decoded transitions in
+// order, and how many lines were skipped as unparsable.
+func openIncidentLog(path string) (*incidentLog, []Transition, int, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, 0, fmt.Errorf("alert: incident log dir: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("alert: opening incident log: %w", err)
+	}
+	var transitions []Transition
+	skipped := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var t Transition
+		if err := json.Unmarshal(line, &t); err != nil || t.Rule == "" {
+			// Torn tail or foreign line: tolerate, count, continue — a
+			// crash mid-append must not brick the next boot.
+			skipped++
+			continue
+		}
+		transitions = append(transitions, t)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("alert: reading incident log: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("alert: seeking incident log: %w", err)
+	}
+	return &incidentLog{f: f}, transitions, skipped, nil
+}
+
+// append journals one transition and syncs it to disk.
+func (l *incidentLog) append(t Transition) error {
+	data, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := l.f.Write(data); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+func (l *incidentLog) close() error {
+	return l.f.Close()
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package alert
+
+// raceEnabled mirrors the -race build flag: allocation-count gates are
+// skipped under the race detector, whose instrumentation allocates.
+const raceEnabled = false

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // TestWriteSSEGolden pins the wire framing: id carries the sequence
@@ -146,5 +149,114 @@ func TestFollowCancel(t *testing.T) {
 	})
 	if err != nil {
 		t.Errorf("cancelled follow returned %v", err)
+	}
+}
+
+// TestFollowReconnectResumes drops the stream after every few events
+// and checks the follower re-dials with Last-Event-ID, the server-side
+// resume replays only newer events, and the callback sees each
+// sequence exactly once.
+func TestFollowReconnectResumes(t *testing.T) {
+	const total = 9
+	var mu sync.Mutex
+	var resumeIDs []string
+	conns := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		conns++
+		id := r.Header.Get("Last-Event-ID")
+		resumeIDs = append(resumeIDs, id)
+		mu.Unlock()
+		after := uint64(0)
+		if id != "" {
+			after, _ = strconv.ParseUint(id, 10, 64)
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		sent := 0
+		for seq := after + 1; seq <= total; seq++ {
+			// Overlap one event below the resume point to prove the
+			// client-side dedupe as well.
+			if seq == after+1 && after > 1 {
+				WriteSSE(w, &DecisionEvent{Seq: after, Workload: "sha"})
+			}
+			WriteSSE(w, &DecisionEvent{Seq: seq, Workload: "sha"})
+			sent++
+			if sent == 3 {
+				return // drop the connection mid-stream
+			}
+		}
+	}))
+	defer srv.Close()
+
+	var seqs []uint64
+	err := Follow(context.Background(), srv.URL, FollowOptions{
+		Reconnect:   true,
+		Max:         total,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+	}, func(e DecisionEvent) error {
+		seqs = append(seqs, e.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != total {
+		t.Fatalf("seqs = %v, want 1..%d exactly once", seqs, total)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("seqs = %v: dropped or doubled at %d", seqs, i)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if conns != 3 {
+		t.Fatalf("connections = %d, want 3", conns)
+	}
+	if resumeIDs[0] != "" || resumeIDs[1] != "3" || resumeIDs[2] != "6" {
+		t.Fatalf("Last-Event-ID per connection = %q", resumeIDs)
+	}
+}
+
+// TestFollowReconnectGivesUp checks the retry budget: consecutive
+// failed dials surface the last error after MaxRetries attempts.
+func TestFollowReconnectGivesUp(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	retries := 0
+	err := Follow(context.Background(), srv.URL, FollowOptions{
+		Reconnect:   true,
+		MaxRetries:  2,
+		BackoffBase: time.Millisecond,
+		OnRetry:     func(int, uint64, error, time.Duration) { retries++ },
+	}, func(DecisionEvent) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "HTTP 503") {
+		t.Fatalf("exhausted retries returned %v", err)
+	}
+	if retries != 2 {
+		t.Fatalf("OnRetry ran %d times, want 2", retries)
+	}
+}
+
+// TestFollowNoReconnectByDefault pins the single-shot default: a
+// dropped stream returns instead of re-dialing.
+func TestFollowNoReconnectByDefault(t *testing.T) {
+	conns := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns++
+		w.Header().Set("Content-Type", "text/event-stream")
+		WriteSSE(w, &DecisionEvent{Seq: 1})
+	}))
+	defer srv.Close()
+	got := 0
+	if err := Follow(context.Background(), srv.URL, FollowOptions{},
+		func(DecisionEvent) error { got++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if conns != 1 || got != 1 {
+		t.Fatalf("conns=%d events=%d, want 1/1", conns, got)
 	}
 }

@@ -186,6 +186,22 @@ func (p *HTMLPage) NavLinks(items [][2]string) {
 // with a non-finite value are skipped; empty or mismatched input
 // renders nothing.
 func (p *HTMLPage) TimeSeries(title string, timesMs []int64, vals []float64, format string) {
+	p.TimeSeriesSpans(title, timesMs, vals, format, nil)
+}
+
+// ChartSpan is one highlighted time interval on a TimeSeriesSpans
+// chart — the dashboards shade alert firing windows with these. Label
+// becomes the rect's SVG tooltip.
+type ChartSpan struct {
+	FromMs, ToMs int64
+	Label        string
+}
+
+// TimeSeriesSpans is TimeSeries with shaded interval overlays behind
+// the line: each span renders as a translucent rect clipped to the
+// charted time range, so an alert's firing window reads directly on
+// the metric that tripped it.
+func (p *HTMLPage) TimeSeriesSpans(title string, timesMs []int64, vals []float64, format string, spans []ChartSpan) {
 	if len(timesMs) == 0 || len(timesMs) != len(vals) {
 		return
 	}
@@ -258,6 +274,30 @@ func (p *HTMLPage) TimeSeries(title string, timesMs []int64, vals []float64, for
 			leftW+chartW/2, h-3, stamp(minT+(maxT-minT)/2))
 		fmt.Fprintf(&p.body, "<text x=\"%d\" y=\"%d\" class=\"axis xr\">%s</text>",
 			leftW+chartW, h-3, stamp(maxT))
+	}
+	// Firing-window overlays go under the line so the data stays
+	// legible on top of them.
+	for _, sp := range spans {
+		from, to := sp.FromMs, sp.ToMs
+		if to < minT || from > maxT || to < from {
+			continue
+		}
+		if from < minT {
+			from = minT
+		}
+		if to > maxT {
+			to = maxT
+		}
+		x0, x1 := x(from), x(to)
+		if x1-x0 < 2 {
+			x1 = x0 + 2 // a short incident must still be visible
+		}
+		fmt.Fprintf(&p.body, "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" class=\"firing\">",
+			x0, padY, x1-x0, float64(chartH)-2*padY)
+		if sp.Label != "" {
+			fmt.Fprintf(&p.body, "<title>%s</title>", html.EscapeString(sp.Label))
+		}
+		p.body.WriteString("</rect>\n")
 	}
 	p.body.WriteString("\n<polyline class=\"line\" points=\"")
 	for i, q := range pts {
@@ -368,6 +408,7 @@ div.tschart { margin: .4rem 0 .8rem; }
 div.tschart h3 { margin: .2rem 0; }
 div.tschart svg { background: #f7f8fa; border: 1px solid #eee; }
 svg .grid { stroke: #e4e7eb; stroke-width: 1; }
+svg .firing { fill: #d9534f; opacity: .15; stroke: none; }
 svg .axis { font-size: 10px; fill: #667; text-anchor: start; }
 svg .axis.yl { text-anchor: end; }
 svg .axis.xm { text-anchor: middle; }

@@ -62,6 +62,7 @@ func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
 
 	if len(events) == 0 {
 		p.Note("No decisions in the trace ring yet — send predictions (dvfsload, or POST /v1/predict) and this page fills in.")
+		s.energySection(p)
 		s.historySection(p, "/debug/dash", window, dashHistoryCharts)
 		p.WriteTo(w)
 		return
@@ -131,6 +132,8 @@ func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	s.energySection(p)
+
 	if s.tracer != nil && s.tracer.Drift() != nil {
 		d := s.tracer.Drift()
 		if wls := d.Workloads(); len(wls) > 0 {
@@ -157,6 +160,44 @@ func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
 	p.WriteTo(w)
 }
 
+// energySection renders the online energy meter's per-stream totals —
+// the live counterpart of dvfsreplay's offline reconstruction.
+func (s *Server) energySection(p *render.HTMLPage) {
+	if s.energy == nil {
+		return
+	}
+	streams := s.energy.Snapshot()
+	if len(streams) == 0 {
+		return
+	}
+	title := "Energy (modeled)"
+	if bw := s.energy.BudgetW(); bw > 0 {
+		title = fmt.Sprintf("Energy (modeled, budget %.3g W)", bw)
+	}
+	p.Section(title)
+	header := []string{"workload", "device", "jobs", "total", "energy/job", "predictor", "burn fast", "burn slow"}
+	rows := make([][]string, 0, len(streams))
+	for _, st := range streams {
+		burnF, burnS := "—", "—"
+		if s.energy.BudgetW() > 0 {
+			burnF = fmt.Sprintf("%.2f×", st.FastBurn)
+			burnS = fmt.Sprintf("%.2f×", st.SlowBurn)
+		}
+		rows = append(rows, []string{
+			st.Workload, st.Device,
+			fmt.Sprintf("%d", st.Jobs+st.OneShots),
+			fmt.Sprintf("%.4g J", st.TotalJ),
+			fmt.Sprintf("%.4g J", st.PerJobJ),
+			fmt.Sprintf("%.1f%%", 100*st.PredictorShare),
+			burnF, burnS,
+		})
+	}
+	p.Table(header, rows, []bool{false, false, true, true, true, true, true, true})
+	if sk := s.energy.Skipped(); sk > 0 {
+		p.Para(fmt.Sprintf("%d events skipped (no usable platform power model).", sk))
+	}
+}
+
 // dashHistoryCharts are the /debug/dash long-horizon panels, served
 // from the embedded telemetry store.
 var dashHistoryCharts = []historyChart{
@@ -173,6 +214,13 @@ var dashHistoryCharts = []historyChart{
 	{title: "sched latency p99", metric: "go_sched_latency_seconds",
 		labels: []tsdb.Label{{Name: "quantile", Value: "0.99"}},
 		scale:  1e3, format: "%.3f ms"},
+	// Energy and alert panels chart nothing until the meter/engine are
+	// configured — an absent metric matches no series and is skipped.
+	{title: "energy budget burn (slow)", metric: "dvfsd_energy_budget_burn",
+		labels: []tsdb.Label{{Name: "window", Value: "slow"}},
+		agg:    tsdb.AggMax, format: "%.2f×"},
+	{title: "alerts firing", metric: "dvfsd_alerts_firing",
+		agg: tsdb.AggMax, format: "%.0f"},
 }
 
 // rollingMissRate is the trailing-window deadline-miss percentage over

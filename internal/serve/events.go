@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -39,7 +40,27 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	var lastSeq uint64
 	replayed := false
-	if f.Last > 0 && s.tracer != nil {
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		// A reconnecting follower (obs.Follow) resumes from the last
+		// sequence it saw: replay everything newer from the ring backlog
+		// and suppress live events at or below it. Takes precedence over
+		// ?last= — the client already had its initial backlog.
+		if id, err := strconv.ParseUint(v, 10, 64); err == nil {
+			lastSeq = id
+			replayed = true
+			if s.tracer != nil {
+				for _, e := range f.Apply(s.tracer.Snapshot(0)) {
+					if e.Seq <= id {
+						continue
+					}
+					if err := obs.WriteSSE(w, &e); err != nil {
+						return
+					}
+					lastSeq = e.Seq
+				}
+			}
+		}
+	} else if f.Last > 0 && s.tracer != nil {
 		for _, e := range f.Apply(s.tracer.Snapshot(0)) {
 			if err := obs.WriteSSE(w, &e); err != nil {
 				return

@@ -68,9 +68,10 @@ type FleetIngestResponse struct {
 
 // handleFleetIngest accepts a decision trace — JSONL or the DVFSTRC1
 // binary format, sniffed from the first bytes — and streams every
-// event into the fleet tracker (and the fleet SLO tracker when
-// configured). Bodies stream through fixed-size buffers: a multi-GB
-// binary fleet trace never materializes in memory.
+// event into the fleet tracker (plus the fleet SLO tracker, the
+// energy meter, and the drift monitor when configured). Bodies stream
+// through fixed-size buffers: a multi-GB binary fleet trace never
+// materializes in memory.
 func (s *Server) handleFleetIngest(w http.ResponseWriter, r *http.Request) {
 	br := bufio.NewReaderSize(r.Body, 64*1024)
 	head, err := br.Peek(8)
@@ -84,6 +85,16 @@ func (s *Server) handleFleetIngest(w http.ResponseWriter, r *http.Request) {
 		s.fleet.Emit(e)
 		if s.fleetSLO != nil {
 			s.fleetSLO.ObserveEvent(e)
+		}
+		if s.energy != nil {
+			s.energy.Emit(e)
+		}
+		if s.drift != nil && e.Done && e.Predicted {
+			// Ingested traces are the only completed predictions this
+			// daemon sees (served jobs run client-side), so they are what
+			// can flip dvfsd_model_stale. Keyed apart from any co-located
+			// controller's own residual stream.
+			s.drift.Observe("fleet:"+e.Workload, e.ResidualSec)
 		}
 		n++
 	}

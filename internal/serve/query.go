@@ -305,6 +305,10 @@ func (s *Server) historySection(p *render.HTMLPage, base string, window time.Dur
 		if scale == 0 {
 			scale = 1
 		}
+		// Firing intervals of any alert rule watching this metric are
+		// shaded behind the line so incidents line up with the signal
+		// that caused them.
+		spans := s.firingSpans(c.metric, fromMs, toMs)
 		for _, sr := range shown {
 			title := c.title
 			if len(res) > 1 {
@@ -316,7 +320,7 @@ func (s *Server) historySection(p *render.HTMLPage, base string, window time.Dur
 				times[i] = pt.T
 				vals[i] = pt.V * scale
 			}
-			p.TimeSeries(title, times, vals, c.format)
+			p.TimeSeriesSpans(title, times, vals, c.format, spans)
 		}
 		if n := len(res) - maxChartSeries; n > 0 {
 			p.Para(fmt.Sprintf("(+%d more %s series — see /v1/query?metric=%s)", n, c.title, c.metric))

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/obs"
 	"repro/internal/tsdb"
 )
@@ -66,6 +67,21 @@ type ServerOptions struct {
 	// gauges, and the debug dashboards grow ?window= history charts.
 	// The scrape loop feeding it lives in cmd/dvfsd, not here.
 	History *tsdb.Store
+	// Alerts, when non-nil, is served at GET /v1/alerts (and GET
+	// /debug/alerts with EnableDebug): live alert state and the
+	// incident timeline, plus firing-span overlays on the history
+	// charts. The evaluation tick lives in cmd/dvfsd (scraper.After),
+	// not here.
+	Alerts *alert.Engine
+	// Energy, when non-nil, is the online energy meter: its totals are
+	// exported through /metrics, /debug/dash grows an energy section,
+	// and ingested fleet events feed it. cmd/dvfsd also attaches it to
+	// the tracer as a sink so served decisions are metered.
+	Energy *alert.EnergyMeter
+	// Drift, when non-nil, receives completed predicted fleet events
+	// (keyed "fleet:<workload>") so ingested residuals can flip
+	// dvfsd_model_stale — the serve path itself never completes a job.
+	Drift *obs.DriftMonitor
 	// EnableDebug mounts GET /debug/decisions (the tracer ring as
 	// JSON), GET /debug/dash (the operations dashboard), GET
 	// /debug/slo, and the net/http/pprof handlers under /debug/pprof/.
@@ -96,6 +112,12 @@ type Server struct {
 
 	history  *tsdb.Store
 	historyG *tsdbGauges
+
+	alerts  *alert.Engine
+	alertG  *alertGauges
+	energy  *alert.EnergyMeter
+	energyG *energyGauges
+	drift   *obs.DriftMonitor
 }
 
 // NewServer wires the HTTP API around a registry.
@@ -141,6 +163,10 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 		maxIngest: opts.MaxIngestBytes,
 
 		history: opts.History,
+
+		alerts: opts.Alerts,
+		energy: opts.Energy,
+		drift:  opts.Drift,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -153,6 +179,15 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	s.mux.HandleFunc("GET /v1/query", s.guard("query", s.handleQuery))
 	if opts.History != nil {
 		s.historyG = newTSDBGauges(s.metrics.Registry())
+	}
+	// Mounted even without an engine so clients get a JSON hint, not a
+	// bare 404, when alerting is disabled.
+	s.mux.HandleFunc("GET /v1/alerts", s.guard("alerts", s.handleAlerts))
+	if opts.Alerts != nil {
+		s.alertG = newAlertGauges(s.metrics.Registry())
+	}
+	if opts.Energy != nil {
+		s.energyG = newEnergyGauges(s.metrics.Registry())
 	}
 	if opts.Fleet != nil {
 		s.fleetG = newFleetGauges(s.metrics.Registry())
@@ -171,6 +206,7 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 		s.mux.HandleFunc("GET /debug/decisions", s.handleDecisions)
 		s.mux.HandleFunc("GET /debug/dash", s.handleDash)
 		s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
+		s.mux.HandleFunc("GET /debug/alerts", s.handleAlertDash)
 		if opts.Fleet != nil {
 			s.mux.HandleFunc("GET /debug/fleet", s.handleFleetDash)
 		}
@@ -291,7 +327,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // SyncGauges refreshes every sync-on-read gauge (models ready, build
 // queue depth, model ages, ring drops, fleet aggregates, telemetry
-// store stats). /metrics calls it per scrape; the telemetry scrape
+// store stats, energy meter totals, alert state). /metrics calls it per scrape; the telemetry scrape
 // loop calls it per tick so history reflects the same state the
 // exposition would.
 func (s *Server) SyncGauges() {
@@ -309,6 +345,12 @@ func (s *Server) SyncGauges() {
 	}
 	if s.history != nil && s.historyG != nil {
 		s.historyG.sync(s.history.Stats())
+	}
+	if s.energy != nil && s.energyG != nil {
+		s.energyG.sync(s.energy)
+	}
+	if s.alerts != nil && s.alertG != nil {
+		s.alertG.sync(s.alerts)
 	}
 }
 

@@ -1,0 +1,139 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// These tests pin the boundary behavior the alert engine depends on: a
+// rule's window query must return each sample exactly once — never
+// dropped, never doubled — when the window straddles a head/sealed
+// block rotation or the retention cutoff.
+
+// checkConsistent asserts pts covers exactly the expected 1s-spaced
+// timestamps in [fromMs, toMs] with strictly increasing times.
+func checkConsistent(t *testing.T, pts []Point, fromMs, toMs int64) {
+	t.Helper()
+	want := int((toMs-fromMs)/1000) + 1
+	if len(pts) != want {
+		t.Fatalf("window [%d, %d]: %d points, want %d", fromMs, toMs, len(pts), want)
+	}
+	for i, p := range pts {
+		if wantT := fromMs + int64(i)*1000; p.T != wantT {
+			t.Fatalf("point %d at %d, want %d (dropped or doubled sample)", i, p.T, wantT)
+		}
+		if i > 0 && pts[i-1].T >= p.T {
+			t.Fatalf("timestamps not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestRuleWindowSpansBlockRotation(t *testing.T) {
+	// 10s blocks, 1s samples: the store seals a chunk every 10 samples.
+	s := memStore(t, Options{Retention: -1, BlockDur: 10 * time.Second})
+	sr := s.Series("m")
+	for i := int64(0); i <= 60; i++ {
+		sr.Append(i*1000, float64(i))
+	}
+	// Windows chosen to straddle a seal boundary, end exactly on one,
+	// start exactly on one, and sit entirely inside the open head.
+	for _, w := range []struct{ from, to int64 }{
+		{5_000, 15_000},  // straddles the 10s boundary
+		{10_000, 30_000}, // starts on a boundary, spans two more
+		{21_000, 30_000}, // ends exactly on a boundary
+		{55_000, 60_000}, // open head only
+		{0, 60_000},      // everything
+	} {
+		res, err := s.Query(Query{Metric: "m", FromMs: w.from, ToMs: w.to})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 {
+			t.Fatalf("window [%d, %d]: %d series, want 1", w.from, w.to, len(res))
+		}
+		checkConsistent(t, res[0].Points, w.from, w.to)
+	}
+}
+
+func TestRuleWindowSpansRetentionBoundary(t *testing.T) {
+	// 30s retention over 10s blocks: old sealed chunks age out while
+	// samples keep landing, the alert engine querying all along.
+	s := memStore(t, Options{Retention: 30 * time.Second, BlockDur: 10 * time.Second})
+	sr := s.Series("m")
+	for i := int64(0); i <= 120; i++ {
+		sr.Append(i*1000, float64(i))
+	}
+	// A rule window reaching past the retention cutoff: whatever comes
+	// back must be exactly once, ordered, and include the newest part
+	// of the window; pruning works on whole chunks keyed by their max
+	// timestamp, so the tail may extend somewhat past the cutoff but
+	// never past a full block beyond it.
+	res, err := s.Query(Query{Metric: "m", FromMs: 60_000, ToMs: 120_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res[0].Points
+	if len(pts) == 0 {
+		t.Fatal("window at the retention edge returned nothing")
+	}
+	seen := map[int64]bool{}
+	for i, p := range pts {
+		if seen[p.T] {
+			t.Fatalf("timestamp %d doubled across the retention boundary", p.T)
+		}
+		seen[p.T] = true
+		if i > 0 && pts[i-1].T >= p.T {
+			t.Fatalf("timestamps out of order at %d", i)
+		}
+	}
+	if last := pts[len(pts)-1].T; last != 120_000 {
+		t.Fatalf("newest sample missing: last=%d", last)
+	}
+	// Retention is 30s behind the newest sample (120s); chunk-granular
+	// pruning may keep up to one extra block (10s).
+	if first := pts[0].T; first < 120_000-30_000-10_000 {
+		t.Fatalf("sample %d survived well past the 30s retention", first)
+	}
+	// And the fully-live suffix of the window is complete.
+	res, err = s.Query(Query{Metric: "m", FromMs: 100_000, ToMs: 120_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConsistent(t, res[0].Points, 100_000, 120_000)
+}
+
+// TestScraperAfterHook pins the alert engine's evaluation contract:
+// After runs once per tick, after that tick's samples are queryable,
+// with the tick's own timestamp.
+func TestScraperAfterHook(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("level", "level")
+	s := memStore(t, Options{Retention: -1})
+	sc := NewScraper(s, reg, time.Second, nil)
+	calls := 0
+	sc.After = func(now time.Time) {
+		calls++
+		res, err := s.Query(Query{Metric: "level", FromMs: 0, ToMs: now.UnixMilli()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := res[0].Points
+		if len(pts) != calls {
+			t.Fatalf("After call %d sees %d samples", calls, len(pts))
+		}
+		if last := pts[len(pts)-1]; last.T != now.UnixMilli() || last.V != float64(calls) {
+			t.Fatalf("After call %d: last sample (%d, %g), want (%d, %d)",
+				calls, last.T, last.V, now.UnixMilli(), calls)
+		}
+	}
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	g.Set(1)
+	sc.Tick(base)
+	g.Set(2)
+	sc.Tick(base.Add(time.Second))
+	if calls != 2 {
+		t.Fatalf("After ran %d times over 2 ticks", calls)
+	}
+}

@@ -22,6 +22,12 @@ type Scraper struct {
 	// health lands in the same tick.
 	collect func()
 
+	// After, when non-nil, runs at the end of every tick, once the
+	// tick's samples have landed in the store. The alert engine
+	// evaluates its rules here so each evaluation sees the samples just
+	// appended rather than racing the next scrape.
+	After func(now time.Time)
+
 	// cache maps a sample's identity to its series, so steady-state
 	// ticks skip the store's key-building lookup.
 	cache map[string]*Series
@@ -76,6 +82,9 @@ func (sc *Scraper) Tick(now time.Time) {
 			continue
 		}
 		sc.seriesFor(s).Append(tMs, s.Value)
+	}
+	if sc.After != nil {
+		sc.After(now)
 	}
 }
 
